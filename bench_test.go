@@ -1,0 +1,260 @@
+// Benchmarks for every reproduced table and figure: Benchmark<ID>
+// exercises the computational kernel of experiment <ID> (see DESIGN.md
+// §4 and EXPERIMENTS.md). Regenerate the actual tables with
+// `go run ./cmd/bcbench -run all -scale full`.
+package bcmh_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/exp"
+	"bcmh/internal/graph"
+	"bcmh/internal/mcmc"
+	"bcmh/internal/rng"
+	"bcmh/internal/sampler"
+)
+
+// fixtures are shared across benchmarks and built once.
+var (
+	fixOnce sync.Once
+	fixBA   *graph.Graph // scale-free workload
+	fixGrid *graph.Graph // high-diameter workload
+	fixWBA  *graph.Graph // weighted variant
+	fixTop  int          // top-degree vertex of fixBA
+)
+
+func fixtures() {
+	fixOnce.Do(func() {
+		fixBA = graph.BarabasiAlbert(2000, 3, rng.New(1))
+		fixGrid = graph.Grid(40, 40)
+		fixWBA = graph.WithUniformWeights(fixBA, 1, 10, rng.New(2))
+		for v := 1; v < fixBA.N(); v++ {
+			if fixBA.Degree(v) > fixBA.Degree(fixTop) {
+				fixTop = v
+			}
+		}
+	})
+}
+
+// BenchmarkT1Datasets measures building the full dataset registry
+// (table T1's workload generation).
+func BenchmarkT1Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, d := range exp.Datasets() {
+			g := d.Build(exp.Quick, 1)
+			if g.N() == 0 {
+				b.Fatal("empty dataset")
+			}
+		}
+	}
+}
+
+// BenchmarkT2SingleVertex measures one 1024-step single-space MH chain
+// (table T2's kernel: estimate one vertex at a fixed budget).
+func BenchmarkT2SingleVertex(b *testing.B) {
+	fixtures()
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateBC(fixBA, fixTop, mcmc.DefaultConfig(1024), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF1ErrorVsT measures one budget point of the F1 sweep: every
+// estimator once at T=256.
+func BenchmarkF1ErrorVsT(b *testing.B) {
+	fixtures()
+	r := rng.New(5)
+	u, _ := sampler.NewUniformSource(fixBA, fixTop)
+	d, _ := sampler.NewDistanceSource(fixBA, fixTop)
+	k, _ := sampler.NewRK(fixBA, fixTop)
+	kl, _ := sampler.NewKadabraLite(fixBA, fixTop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateBC(fixBA, fixTop, mcmc.DefaultConfig(256), r); err != nil {
+			b.Fatal(err)
+		}
+		u.Estimate(256, r)
+		d.Estimate(256, r)
+		k.Estimate(256, r)
+		kl.Estimate(256, r)
+	}
+}
+
+// BenchmarkT3Mu measures the exact μ(r) computation (table T3's kernel,
+// one O(nm) dependency column).
+func BenchmarkT3Mu(b *testing.B) {
+	fixtures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.MuExact(fixBA, fixTop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF2Coverage measures one coverage repetition (an 800-step
+// chain on the star graph).
+func BenchmarkF2Coverage(b *testing.B) {
+	g := graph.Star(200)
+	r := rng.New(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateBC(g, 0, mcmc.DefaultConfig(800), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT4Separator measures one μ evaluation on the Theorem-2
+// separator family.
+func BenchmarkT4Separator(b *testing.B) {
+	g := graph.StarOfCliques(4, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.MuExact(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT5JointRatios measures a 4096-step joint-space chain over
+// |R| = 6 targets (table T5's kernel).
+func BenchmarkT5JointRatios(b *testing.B) {
+	fixtures()
+	R := []int{fixTop}
+	for v := 1; len(R) < 6; v++ {
+		if v != fixTop {
+			R = append(R, v)
+		}
+	}
+	r := rng.New(9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateRelative(fixBA, R, mcmc.DefaultJointConfig(4096), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkF3RelativeScore measures the exact relative ground truth
+// (|R| dependency columns), F3's expensive reference computation.
+func BenchmarkF3RelativeScore(b *testing.B) {
+	fixtures()
+	R := []int{fixTop, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.ExactRelative(fixBA, R); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT6Ranking measures ranking a 12-vertex candidate set with
+// the uniform all-vertices estimator at budget 1024 (T6's cheapest
+// competitive method).
+func BenchmarkT6Ranking(b *testing.B) {
+	fixtures()
+	u, _ := sampler.NewUniformSource(fixBA, 0)
+	r := rng.New(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.EstimateAll(1024, r)
+	}
+}
+
+// BenchmarkT7Runtime measures the exact-Brandes side of the crossover
+// computation.
+func BenchmarkT7Runtime(b *testing.B) {
+	fixtures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		brandes.BCParallel(fixBA, 0)
+	}
+}
+
+// BenchmarkT8Ablations measures the degree-proposal chain variant
+// (the ablation with the most machinery on top of the default).
+func BenchmarkT8Ablations(b *testing.B) {
+	fixtures()
+	cfg := mcmc.DefaultConfig(1024)
+	cfg.DegreeProposal = true
+	r := rng.New(13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateBC(fixBA, fixTop, cfg, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT9Weighted measures a 1024-step chain on the weighted
+// workload (Dijkstra SPDs in the oracle).
+func BenchmarkT9Weighted(b *testing.B) {
+	fixtures()
+	r := rng.New(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateBC(fixWBA, fixTop, mcmc.DefaultConfig(1024), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT10Bias measures the bias-decomposition kernel: one long
+// chain (8192 steps) plus the exact chain-limit reference.
+func BenchmarkT10Bias(b *testing.B) {
+	fixtures()
+	r := rng.New(19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateBC(fixGrid, 820, mcmc.DefaultConfig(8192), r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExperimentT1EndToEnd runs the complete (cheap) T1 runner —
+// a guard that the harness itself stays fast.
+func BenchmarkExperimentT1EndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := exp.RunT1(io.Discard, exp.Quick, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT11Stress measures one stress-chain estimation (table T11's
+// kernel).
+func BenchmarkT11Stress(b *testing.B) {
+	fixtures()
+	r := rng.New(23)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcmc.EstimateStress(fixBA, fixTop, 1024, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT12Adaptive measures one adaptive certification run at a
+// loose epsilon (table T12's kernel).
+func BenchmarkT12Adaptive(b *testing.B) {
+	fixtures()
+	a, err := sampler.NewAdaptive(fixBA, fixTop)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(29)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Run(0.05, 0.1, 0, 1<<16, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

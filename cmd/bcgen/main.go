@@ -1,0 +1,132 @@
+// Command bcgen generates synthetic graphs from the families used in
+// the paper's evaluation regimes and writes them as edge-list files
+// readable by bcmh and bcexact.
+//
+// Usage:
+//
+//	bcgen -family ba -n 5000 -attach 3 -seed 1 -o ba5000.txt
+//	bcgen -family er -n 2000 -avgdeg 8 -o er.txt
+//	bcgen -family ws -n 2000 -k 10 -beta 0.1 -o ws.txt
+//	bcgen -family grid -rows 40 -cols 50 -o grid.txt
+//	bcgen -family barbell -k1 300 -k2 300 -pathlen 4 -o barbell.txt
+//	bcgen -family karate -o karate.txt
+//
+// Add -weighted -wlo 1 -whi 10 for uniform random edge weights and
+// -largest to keep only the largest connected component.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+)
+
+func main() {
+	var (
+		family  = flag.String("family", "ba", "graph family: ba, er, gnm, ws, grid, barbell, lollipop, doublestar, starofcliques, caveman, planted, regular, tree, karytree, path, cycle, star, wheel, complete, karate, geometric")
+		n       = flag.Int("n", 1000, "number of vertices (where applicable)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("o", "", "output edge-list path (default stdout)")
+		attach  = flag.Int("attach", 3, "ba: edges per new vertex")
+		avgdeg  = flag.Float64("avgdeg", 8, "er: average degree (p = avgdeg/(n-1))")
+		m       = flag.Int("m", 0, "gnm: number of edges")
+		k       = flag.Int("k", 10, "ws: ring neighbors (even); regular: degree; karytree: arity")
+		beta    = flag.Float64("beta", 0.1, "ws: rewiring probability")
+		rows    = flag.Int("rows", 30, "grid: rows")
+		cols    = flag.Int("cols", 30, "grid: cols")
+		k1      = flag.Int("k1", 100, "barbell/doublestar: first size")
+		k2      = flag.Int("k2", 100, "barbell/doublestar: second size")
+		pathLen = flag.Int("pathlen", 2, "barbell/lollipop: connecting path length")
+		cliques = flag.Int("cliques", 4, "starofcliques/caveman: number of cliques")
+		csize   = flag.Int("csize", 20, "starofcliques/caveman: clique size")
+		groups  = flag.Int("groups", 4, "planted: number of groups")
+		pin     = flag.Float64("pin", 0.2, "planted: in-group edge probability")
+		pout    = flag.Float64("pout", 0.01, "planted: cross-group edge probability")
+		radius  = flag.Float64("radius", 0.05, "geometric: connection radius")
+		largest = flag.Bool("largest", false, "keep only the largest connected component")
+		weight  = flag.Bool("weighted", false, "assign uniform random edge weights")
+		wlo     = flag.Float64("wlo", 1, "weighted: minimum weight")
+		whi     = flag.Float64("whi", 10, "weighted: maximum weight")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	var g *graph.Graph
+	switch *family {
+	case "ba":
+		g = graph.BarabasiAlbert(*n, *attach, r)
+	case "er":
+		p := *avgdeg / float64(*n-1)
+		g = graph.ErdosRenyiGNP(*n, p, r)
+	case "gnm":
+		g = graph.ErdosRenyiGNM(*n, *m, r)
+	case "ws":
+		g = graph.WattsStrogatz(*n, *k, *beta, r)
+	case "grid":
+		g = graph.Grid(*rows, *cols)
+	case "barbell":
+		g = graph.Barbell(*k1, *k2, *pathLen)
+	case "lollipop":
+		g = graph.Lollipop(*k1, *pathLen)
+	case "doublestar":
+		g = graph.DoubleStar(*k1, *k2)
+	case "starofcliques":
+		g = graph.StarOfCliques(*cliques, *csize)
+	case "caveman":
+		g = graph.Caveman(*cliques, *csize, r)
+	case "planted":
+		g = graph.PlantedPartition(*groups, *n / *groups, *pin, *pout, r)
+	case "regular":
+		g = graph.RandomRegular(*n, *k, r)
+	case "tree":
+		g = graph.RandomTree(*n, r)
+	case "karytree":
+		g = graph.KaryTree(*n, *k)
+	case "path":
+		g = graph.Path(*n)
+	case "cycle":
+		g = graph.Cycle(*n)
+	case "star":
+		g = graph.Star(*n)
+	case "wheel":
+		g = graph.Wheel(*n)
+	case "complete":
+		g = graph.Complete(*n)
+	case "karate":
+		g = graph.KarateClub()
+	case "geometric":
+		g, _ = graph.RandomGeometric(*n, *radius, r)
+	default:
+		fmt.Fprintf(os.Stderr, "bcgen: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+
+	if *largest {
+		lc, _, err := graph.LargestComponent(g)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcgen: %v\n", err)
+			os.Exit(1)
+		}
+		g = lc
+	}
+	if *weight {
+		g = graph.WithUniformWeights(g, *wlo, *whi, r.Split("weights"))
+	}
+
+	var err error
+	if *out == "" {
+		err = graph.WriteEdgeList(os.Stdout, g)
+	} else {
+		err = graph.WriteEdgeListFile(*out, g)
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "bcgen: wrote %v to %s\n", g, *out)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,10 @@
+// Package bcmh reproduces "Metropolis-Hastings Algorithms for
+// Estimating Betweenness Centrality in Large Networks" (Chehreghani,
+// Abdessalem, Bifet; EDBT 2019 / arXiv:1704.07351).
+//
+// The implementation lives under internal/: see internal/core for the
+// public facade, internal/mcmc for the paper's samplers, and DESIGN.md
+// for the full system inventory. Executables are under cmd/ and
+// runnable examples under examples/. bench_test.go in this directory
+// carries one testing.B benchmark per reproduced table/figure.
+package bcmh

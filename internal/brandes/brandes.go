@@ -1,0 +1,337 @@
+// Package brandes implements Brandes' exact betweenness-centrality
+// algorithm [8] and the exact dependency-score machinery the paper's
+// samplers are defined in terms of: single-source dependency vectors
+// δ_s•(·) (Eq. 2/4), per-target dependency columns δ_·•(r) (the MH
+// chain's unnormalised stationary distribution, Eq. 5), edge betweenness
+// (the Girvan–Newman substrate [19]), and group betweenness for small
+// vertex sets (§3.1 of the paper).
+//
+// All betweenness values use the paper's Eq. 1 normalisation,
+// BC(v) = (1/(n(n-1))) Σ_{s≠t≠v} σ_st(v)/σ_st ∈ [0,1]; dependency
+// scores are raw (unnormalised) as in Eq. 2.
+package brandes
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/sssp"
+)
+
+// Accumulate computes Brandes' dependency scores δ_source•(v) for every
+// v from an SPD, writing them into delta (which must have length n; it
+// is zeroed first). After the call delta[v] = δ_source•(v) for v ≠
+// source and delta[source] = 0.
+//
+// The recursion is Eq. 4: δ_s•(u) = Σ_{w: u ∈ P_s(w)} σ_su/σ_sw (1 +
+// δ_s•(w)), evaluated by scanning vertices in reverse distance order
+// and, for each w, distributing to every SPD parent u. Cost O(m)
+// unweighted / O(m) after the SPD is built for weighted graphs.
+func Accumulate(g *graph.Graph, spd *sssp.SPD, delta []float64) {
+	if len(delta) != g.N() {
+		panic("brandes: Accumulate delta length mismatch")
+	}
+	for i := range delta {
+		delta[i] = 0
+	}
+	order := spd.Order
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		if spd.Sigma[w] == 0 {
+			continue
+		}
+		coeff := (1 + delta[w]) / spd.Sigma[w]
+		ns := g.Neighbors(w)
+		ws := g.NeighborWeights(w)
+		for j, u := range ns {
+			wt := 1.0
+			if ws != nil {
+				wt = ws[j]
+			}
+			if spd.OnShortestPath(u, w, wt) {
+				delta[u] += spd.Sigma[u] * coeff
+			}
+		}
+	}
+	delta[spd.Source] = 0
+}
+
+// Dependencies returns δ_source•(·) as a fresh slice, running one
+// traversal + accumulation on c.
+func Dependencies(c *sssp.Computer, source int) []float64 {
+	spd := c.Run(source)
+	delta := make([]float64, c.Graph().N())
+	Accumulate(c.Graph(), spd, delta)
+	return delta
+}
+
+// DependencyOnTarget returns δ_source•(target): the dependency of
+// source on target, the quantity one MH acceptance test needs. Same
+// O(m) cost as Dependencies (the full vector is computed and one entry
+// read) — exactly the per-sample cost the paper states.
+func DependencyOnTarget(c *sssp.Computer, scratch []float64, source, target int) float64 {
+	spd := c.Run(source)
+	Accumulate(c.Graph(), spd, scratch)
+	return scratch[target]
+}
+
+// BC computes exact betweenness centrality for every vertex with
+// Brandes' algorithm: n traversals with dependency accumulation,
+// O(nm) unweighted / O(nm + n² log n) weighted.
+func BC(g *graph.Graph) []float64 {
+	n := g.N()
+	bc := make([]float64, n)
+	c := sssp.NewComputer(g)
+	delta := make([]float64, n)
+	for s := 0; s < n; s++ {
+		spd := c.Run(s)
+		Accumulate(g, spd, delta)
+		for v := 0; v < n; v++ {
+			bc[v] += delta[v]
+		}
+	}
+	normalize(bc, n)
+	return bc
+}
+
+// BCParallel computes exact betweenness with sources fanned out over
+// `workers` goroutines (0 means GOMAXPROCS). The result is identical to
+// BC: each worker accumulates into a private vector and the vectors are
+// summed in worker order, so only the float addition order over a
+// deterministic partition differs — with non-negative dependency terms
+// this stays bit-reproducible across runs with the same worker count.
+func BCParallel(g *graph.Graph, workers int) []float64 {
+	n := g.N()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 0 {
+		return BC(g)
+	}
+	partial := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sssp.NewComputer(g)
+			delta := make([]float64, n)
+			acc := make([]float64, n)
+			// Strided partition: worker w handles sources w, w+workers, ...
+			for s := w; s < n; s += workers {
+				spd := c.Run(s)
+				Accumulate(g, spd, delta)
+				for v := 0; v < n; v++ {
+					acc[v] += delta[v]
+				}
+			}
+			partial[w] = acc
+		}(w)
+	}
+	wg.Wait()
+	bc := make([]float64, n)
+	for w := 0; w < workers; w++ {
+		for v := 0; v < n; v++ {
+			bc[v] += partial[w][v]
+		}
+	}
+	normalize(bc, n)
+	return bc
+}
+
+func normalize(bc []float64, n int) {
+	if n < 2 {
+		return
+	}
+	scale := 1 / (float64(n) * float64(n-1))
+	for i := range bc {
+		bc[i] *= scale
+	}
+}
+
+// DependencyVector returns the column δ_v•(r) for all sources v — the
+// unnormalised stationary distribution of the paper's MH chain (Eq. 5).
+// Cost: n traversals (O(nm)); this is ground-truth machinery for the
+// experiments, not part of any estimator's hot path.
+func DependencyVector(g *graph.Graph, r int) []float64 {
+	return DependencyVectorParallel(g, r, 0)
+}
+
+// DependencyVectorParallel is DependencyVector with sources fanned out
+// over `workers` goroutines (0 = GOMAXPROCS).
+func DependencyVectorParallel(g *graph.Graph, r int, workers int) []float64 {
+	n := g.N()
+	if r < 0 || r >= n {
+		panic("brandes: DependencyVector target out of range")
+	}
+	out := make([]float64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		c := sssp.NewComputer(g)
+		delta := make([]float64, n)
+		for v := 0; v < n; v++ {
+			out[v] = DependencyOnTarget(c, delta, v, r)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := sssp.NewComputer(g)
+			delta := make([]float64, n)
+			for v := w; v < n; v += workers {
+				out[v] = DependencyOnTarget(c, delta, v, r) // disjoint writes
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// BCOfVertexExact returns the exact betweenness of r via its dependency
+// column: BC(r) = (1/(n(n-1))) Σ_v δ_v•(r).
+func BCOfVertexExact(g *graph.Graph, r int) float64 {
+	dep := DependencyVector(g, r)
+	var sum float64
+	for _, d := range dep {
+		sum += d
+	}
+	n := g.N()
+	if n < 2 {
+		return 0
+	}
+	return sum / (float64(n) * float64(n-1))
+}
+
+// EdgeKey canonicalises an undirected edge as [2]int{min, max}.
+func EdgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// EdgeBC computes exact edge betweenness for every edge: the number of
+// shortest paths crossing the edge, summed over unordered vertex pairs
+// (each ordered-pair contribution is halved). This is the quantity the
+// Girvan–Newman community algorithm [19] removes edges by.
+func EdgeBC(g *graph.Graph) (map[[2]int]float64, error) {
+	if g.Directed() {
+		return nil, fmt.Errorf("brandes: EdgeBC requires an undirected graph")
+	}
+	n := g.N()
+	ebc := make(map[[2]int]float64, g.M())
+	c := sssp.NewComputer(g)
+	delta := make([]float64, n)
+	for s := 0; s < n; s++ {
+		spd := c.Run(s)
+		for i := range delta {
+			delta[i] = 0
+		}
+		order := spd.Order
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			if spd.Sigma[w] == 0 {
+				continue
+			}
+			coeff := (1 + delta[w]) / spd.Sigma[w]
+			ns := g.Neighbors(w)
+			ws := g.NeighborWeights(w)
+			for j, u := range ns {
+				wt := 1.0
+				if ws != nil {
+					wt = ws[j]
+				}
+				if spd.OnShortestPath(u, w, wt) {
+					contrib := spd.Sigma[u] * coeff
+					delta[u] += contrib
+					ebc[EdgeKey(u, w)] += contrib
+				}
+			}
+		}
+	}
+	// Each unordered pair {s,t} was counted from both endpoints.
+	for k := range ebc {
+		ebc[k] /= 2
+	}
+	return ebc, nil
+}
+
+// GroupBC computes the group betweenness centrality of set (Everett &
+// Borgatti [15]): the normalised fraction of shortest paths between
+// pairs outside the set that pass through at least one member. Computed
+// exactly in O(nm) by counting, per source, the shortest paths that
+// avoid the set (a DP over the SPD) and subtracting.
+func GroupBC(g *graph.Graph, set []int) (float64, error) {
+	n := g.N()
+	inSet := make([]bool, n)
+	for _, v := range set {
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("brandes: GroupBC vertex %d out of range", v)
+		}
+		if inSet[v] {
+			return 0, fmt.Errorf("brandes: GroupBC vertex %d repeated", v)
+		}
+		inSet[v] = true
+	}
+	outside := n - len(set)
+	if outside < 2 {
+		return 0, nil
+	}
+	c := sssp.NewComputer(g)
+	avoid := make([]float64, n) // σ̃: shortest paths from s avoiding the set
+	var total float64
+	for s := 0; s < n; s++ {
+		if inSet[s] {
+			continue
+		}
+		spd := c.Run(s)
+		for i := range avoid {
+			avoid[i] = 0
+		}
+		avoid[s] = 1
+		// Forward DP in distance order: σ̃_v = Σ_{parents u} σ̃_u,
+		// zeroed at set members.
+		for _, v := range spd.Order {
+			if v == s {
+				continue
+			}
+			if inSet[v] {
+				avoid[v] = 0
+				continue
+			}
+			ns := g.Neighbors(v)
+			ws := g.NeighborWeights(v)
+			var sum float64
+			for j, u := range ns {
+				wt := 1.0
+				if ws != nil {
+					wt = ws[j]
+				}
+				if spd.OnShortestPath(u, v, wt) {
+					sum += avoid[u]
+				}
+			}
+			avoid[v] = sum
+		}
+		for t := 0; t < n; t++ {
+			if t == s || inSet[t] || spd.Sigma[t] == 0 {
+				continue
+			}
+			total += 1 - avoid[t]/spd.Sigma[t]
+		}
+	}
+	return total / (float64(outside) * float64(outside-1)), nil
+}

@@ -1,0 +1,299 @@
+// Package core is the library's public facade: stable, validated entry
+// points that tie the substrates together. A downstream user estimates
+// the betweenness of a vertex, the relative betweenness of a set, or
+// exact values, without touching the sampler internals:
+//
+//	g, _, err := graph.ReadEdgeListFile("net.txt")
+//	est, err := core.EstimateBC(g, r, core.Options{Epsilon: 0.01, Delta: 0.1})
+//	fmt.Println(est.Value, est.Diagnostics.AcceptanceRate)
+//
+// Estimation requires a connected undirected graph (the paper's
+// setting); Prepare converts arbitrary input by extracting the largest
+// connected component.
+package core
+
+import (
+	"fmt"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+	"bcmh/internal/mcmc"
+	"bcmh/internal/rng"
+)
+
+// DefaultMaxSteps caps planned chain lengths so a pessimistic μ bound
+// cannot request an absurd budget; override with Options.MaxSteps.
+const DefaultMaxSteps = 1 << 22
+
+// Options configures single-vertex estimation.
+type Options struct {
+	// Steps fixes the chain length T directly. When zero, T is planned
+	// from (Epsilon, Delta) and a μ bound via Eq. 14.
+	Steps int
+	// Epsilon and Delta specify the (ε,δ)-guarantee used to plan T when
+	// Steps is zero. Defaults: 0.01 and 0.1.
+	Epsilon, Delta float64
+	// MuBound is the μ(r) bound used by the planner. When zero, μ is
+	// computed exactly (O(nm) — fine at experiment scale, expensive on
+	// big graphs; pass a bound, e.g. Theorem 2's 1+1/K, when you have
+	// one).
+	MuBound float64
+	// MaxSteps caps the planned T (default DefaultMaxSteps).
+	MaxSteps int
+	// Chains > 1 runs that many independent chains in parallel and
+	// pools them; total work is Chains·T traversals.
+	Chains int
+	// Seed makes the run reproducible. Two runs with equal options and
+	// seeds return identical results.
+	Seed uint64
+	// Estimator selects the reported estimate (default: standard chain
+	// average; see mcmc.EstimatorKind for the paper-literal and
+	// corrected variants).
+	Estimator mcmc.EstimatorKind
+	// BurnIn, DegreeProposal, DisableCache pass through to mcmc.Config
+	// (ablation knobs; the paper's sampler uses none of them).
+	BurnIn         int
+	DegreeProposal bool
+	DisableCache   bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Epsilon == 0 {
+		out.Epsilon = 0.01
+	}
+	if out.Delta == 0 {
+		out.Delta = 0.1
+	}
+	if out.MaxSteps == 0 {
+		out.MaxSteps = DefaultMaxSteps
+	}
+	if out.Chains == 0 {
+		out.Chains = 1
+	}
+	return out
+}
+
+// Estimate is the result of a single-vertex estimation.
+type Estimate struct {
+	// Value is the betweenness estimate under the selected estimator.
+	Value float64
+	// PlannedSteps is the chain length used (per chain).
+	PlannedSteps int
+	// Chains is the number of pooled chains.
+	Chains int
+	// MuUsed is the μ value the planner used (0 when Steps was fixed).
+	MuUsed float64
+	// Diagnostics carries the pooled sampler diagnostics.
+	Diagnostics mcmc.Result
+	// PerChain holds per-chain results when Chains > 1.
+	PerChain []mcmc.Result
+}
+
+func validateGraph(g *graph.Graph) error {
+	if g == nil {
+		return fmt.Errorf("core: nil graph")
+	}
+	if g.Directed() {
+		return fmt.Errorf("core: estimators require an undirected graph")
+	}
+	if g.N() < 2 {
+		return fmt.Errorf("core: graph too small (n=%d)", g.N())
+	}
+	if !graph.IsConnected(g) {
+		return fmt.Errorf("core: graph is not connected; call core.Prepare to extract the largest component")
+	}
+	return nil
+}
+
+// Prepare validates g for estimation, extracting the largest connected
+// component if necessary. It returns the usable graph and the mapping
+// from its vertex ids to the original ids (nil when g was already
+// usable as-is).
+func Prepare(g *graph.Graph) (*graph.Graph, []int, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("core: nil graph")
+	}
+	if g.Directed() {
+		return nil, nil, fmt.Errorf("core: estimators require an undirected graph")
+	}
+	if graph.IsConnected(g) {
+		if g.N() < 2 {
+			return nil, nil, fmt.Errorf("core: graph too small (n=%d)", g.N())
+		}
+		return g, nil, nil
+	}
+	lc, mapping, err := graph.LargestComponent(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	if lc.N() < 2 {
+		return nil, nil, fmt.Errorf("core: largest component too small (n=%d)", lc.N())
+	}
+	return lc, mapping, nil
+}
+
+// EstimateBC estimates the betweenness centrality of vertex r in g with
+// the paper's single-space Metropolis–Hastings sampler (§4.2).
+func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
+	if err := validateGraph(g); err != nil {
+		return Estimate{}, err
+	}
+	if r < 0 || r >= g.N() {
+		return Estimate{}, fmt.Errorf("core: vertex %d out of range [0,%d)", r, g.N())
+	}
+	o := opts.withDefaults()
+	var est Estimate
+	steps := o.Steps
+	if steps <= 0 {
+		mu := o.MuBound
+		if mu <= 0 {
+			ms, err := mcmc.MuExact(g, r)
+			if err != nil {
+				return Estimate{}, err
+			}
+			mu = ms.Mu
+			if mu <= 0 {
+				// All-zero dependency column: BC(r) = 0 exactly; no
+				// sampling needed.
+				est.Value = 0
+				est.PlannedSteps = 0
+				est.Chains = 0
+				return est, nil
+			}
+		}
+		est.MuUsed = mu
+		steps = mcmc.PlanSteps(o.Epsilon, o.Delta, mu)
+		if steps > o.MaxSteps {
+			steps = o.MaxSteps
+		}
+		if steps < 1 {
+			steps = 1
+		}
+	}
+	cfg := mcmc.Config{
+		Steps:          steps,
+		BurnIn:         o.BurnIn,
+		Estimator:      o.Estimator,
+		DegreeProposal: o.DegreeProposal,
+		DisableCache:   o.DisableCache,
+		InitState:      -1,
+	}
+	est.PlannedSteps = steps
+	est.Chains = o.Chains
+	if o.Chains > 1 {
+		multi, err := mcmc.EstimateBCParallel(g, r, cfg, o.Seed, o.Chains)
+		if err != nil {
+			return Estimate{}, err
+		}
+		est.Value = multi.Combined.Estimate
+		est.Diagnostics = multi.Combined
+		est.PerChain = multi.PerChain
+		return est, nil
+	}
+	res, err := mcmc.EstimateBC(g, r, cfg, rng.New(o.Seed))
+	if err != nil {
+		return Estimate{}, err
+	}
+	est.Value = res.Estimate
+	est.Diagnostics = res
+	return est, nil
+}
+
+// RelOptions configures joint-space relative estimation.
+type RelOptions struct {
+	// Steps is the joint chain length T; when zero it is planned from
+	// (Epsilon, Delta, MuBound) exactly like Options, per Eq. 27, using
+	// the largest μ(r) over R when MuBound is zero. Note Eq. 27 bounds
+	// |M(j)|, the per-target sub-chain length; the planner multiplies
+	// by |R| so the expected sub-chain budget matches.
+	Steps          int
+	Epsilon, Delta float64
+	MuBound        float64
+	MaxSteps       int
+	Seed           uint64
+	BurnIn         int
+	DisableCache   bool
+}
+
+// EstimateRelative estimates relative betweenness scores and betweenness
+// ratios for the vertex set R with the paper's joint-space sampler
+// (§4.3).
+func EstimateRelative(g *graph.Graph, R []int, opts RelOptions) (mcmc.JointResult, error) {
+	if err := validateGraph(g); err != nil {
+		return mcmc.JointResult{}, err
+	}
+	o := opts
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.01
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.1
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = DefaultMaxSteps
+	}
+	steps := o.Steps
+	if steps <= 0 {
+		mu := o.MuBound
+		if mu <= 0 {
+			for _, r := range R {
+				ms, err := mcmc.MuExact(g, r)
+				if err != nil {
+					return mcmc.JointResult{}, err
+				}
+				if ms.Mu > mu {
+					mu = ms.Mu
+				}
+			}
+		}
+		if mu <= 0 {
+			return mcmc.JointResult{}, fmt.Errorf("core: every target in R has zero betweenness; relative scores are undefined")
+		}
+		steps = mcmc.PlanSteps(o.Epsilon, o.Delta, mu) * len(R)
+		if steps > o.MaxSteps {
+			steps = o.MaxSteps
+		}
+	}
+	cfg := mcmc.JointConfig{
+		Steps:        steps,
+		BurnIn:       o.BurnIn,
+		DisableCache: o.DisableCache,
+		InitR:        -1,
+		InitV:        -1,
+	}
+	return mcmc.EstimateRelative(g, R, cfg, rng.New(o.Seed))
+}
+
+// ExactBC computes exact betweenness for every vertex (parallel
+// Brandes). Prefer this over sampling when n is small enough that O(nm)
+// is affordable.
+func ExactBC(g *graph.Graph) ([]float64, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if g.Directed() {
+		return nil, fmt.Errorf("core: ExactBC requires an undirected graph")
+	}
+	return brandes.BCParallel(g, 0), nil
+}
+
+// ExactBCOf computes the exact betweenness of a single vertex.
+func ExactBCOf(g *graph.Graph, r int) (float64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("core: nil graph")
+	}
+	if r < 0 || r >= g.N() {
+		return 0, fmt.Errorf("core: vertex %d out of range", r)
+	}
+	return brandes.BCOfVertexExact(g, r), nil
+}
+
+// Mu computes the exact concentration profile μ(r) and related
+// quantities (Theorems 1–2 machinery). O(nm).
+func Mu(g *graph.Graph, r int) (mcmc.MuStats, error) {
+	if err := validateGraph(g); err != nil {
+		return mcmc.MuStats{}, err
+	}
+	return mcmc.MuExact(g, r)
+}

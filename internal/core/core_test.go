@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+	"bcmh/internal/mcmc"
+	"bcmh/internal/rng"
+)
+
+func TestEstimateBCFixedSteps(t *testing.T) {
+	g := graph.KarateClub()
+	est, err := EstimateBC(g, 0, Options{Steps: 5000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := mcmc.MuExact(g, 0)
+	if math.Abs(est.Value-ms.ChainLimit) > 0.05 {
+		t.Fatalf("estimate %v far from chain limit %v", est.Value, ms.ChainLimit)
+	}
+	if est.PlannedSteps != 5000 || est.Chains != 1 {
+		t.Fatalf("metadata wrong: %+v", est)
+	}
+	if est.Diagnostics.AcceptanceRate <= 0 {
+		t.Fatal("diagnostics missing")
+	}
+}
+
+func TestEstimateBCPlansFromEpsilonDelta(t *testing.T) {
+	g := graph.Star(20)
+	est, err := EstimateBC(g, 0, Options{Epsilon: 0.05, Delta: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MuUsed <= 0 {
+		t.Fatal("planner did not compute mu")
+	}
+	want := mcmc.PlanSteps(0.05, 0.2, est.MuUsed)
+	if est.PlannedSteps != want {
+		t.Fatalf("planned %d want %d", est.PlannedSteps, want)
+	}
+}
+
+func TestEstimateBCMuBoundOverride(t *testing.T) {
+	g := graph.KarateClub()
+	est, err := EstimateBC(g, 0, Options{Epsilon: 0.1, Delta: 0.2, MuBound: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MuUsed != 2 {
+		t.Fatalf("mu bound not used: %v", est.MuUsed)
+	}
+	if est.PlannedSteps != mcmc.PlanSteps(0.1, 0.2, 2) {
+		t.Fatalf("planned steps %d", est.PlannedSteps)
+	}
+}
+
+func TestEstimateBCMaxStepsCap(t *testing.T) {
+	g := graph.KarateClub()
+	est, err := EstimateBC(g, 0, Options{Epsilon: 0.0001, Delta: 0.01, MuBound: 10, MaxSteps: 1234, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.PlannedSteps != 1234 {
+		t.Fatalf("cap not applied: %d", est.PlannedSteps)
+	}
+}
+
+func TestEstimateBCZeroBCShortCircuit(t *testing.T) {
+	// Star leaf: planner sees μ = 0 → exact answer 0 with no sampling.
+	est, err := EstimateBC(graph.Star(10), 4, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != 0 || est.PlannedSteps != 0 {
+		t.Fatalf("zero-BC short circuit failed: %+v", est)
+	}
+}
+
+func TestEstimateBCMultiChain(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, rng.New(7))
+	est, err := EstimateBC(g, 0, Options{Steps: 2000, Chains: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(est.PerChain) != 4 {
+		t.Fatalf("per-chain results %d", len(est.PerChain))
+	}
+	// Deterministic.
+	est2, _ := EstimateBC(g, 0, Options{Steps: 2000, Chains: 4, Seed: 8})
+	if est.Value != est2.Value {
+		t.Fatal("multi-chain estimate not reproducible")
+	}
+}
+
+func TestEstimateBCValidation(t *testing.T) {
+	g := graph.KarateClub()
+	if _, err := EstimateBC(nil, 0, Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := EstimateBC(g, 99, Options{Steps: 10}); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+	b := graph.NewDirectedBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	if _, err := EstimateBC(b.MustBuild(), 0, Options{Steps: 10}); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+	db := graph.NewBuilder(4)
+	db.AddEdge(0, 1)
+	db.AddEdge(2, 3)
+	if _, err := EstimateBC(db.MustBuild(), 0, Options{Steps: 10}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestPrepare(t *testing.T) {
+	// Connected graph: returned as-is.
+	g := graph.KarateClub()
+	same, mapping, err := Prepare(g)
+	if err != nil || same != g || mapping != nil {
+		t.Fatalf("connected prepare: %v %v %v", same, mapping, err)
+	}
+	// Disconnected: largest component extracted with mapping.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(4, 5)
+	lc, mapping, err := Prepare(b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc.N() != 3 || len(mapping) != 3 {
+		t.Fatalf("prepare extracted n=%d", lc.N())
+	}
+	if _, _, err := Prepare(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestEstimateRelative(t *testing.T) {
+	g := graph.KarateClub()
+	R := []int{0, 2, 33}
+	res, err := EstimateRelative(g, R, RelOptions{Steps: 30000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := mcmc.ExactRelative(g, R)
+	for i := range R {
+		for j := range R {
+			if i == j {
+				continue
+			}
+			if math.IsNaN(res.RatioEst[i][j]) {
+				t.Fatalf("NaN ratio at (%d,%d)", i, j)
+			}
+			if math.Abs(res.RatioEst[i][j]-gt.Ratio[i][j])/gt.Ratio[i][j] > 0.3 {
+				t.Fatalf("ratio (%d,%d) %v vs %v", i, j, res.RatioEst[i][j], gt.Ratio[i][j])
+			}
+		}
+	}
+}
+
+func TestEstimateRelativePlansSteps(t *testing.T) {
+	g := graph.KarateClub()
+	R := []int{0, 33}
+	res, err := EstimateRelative(g, R, RelOptions{Epsilon: 0.2, Delta: 0.3, MuBound: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, m := range res.MSize {
+		total += m
+	}
+	want := mcmc.PlanSteps(0.2, 0.3, 2)*len(R) + 1
+	if total != want {
+		t.Fatalf("planned joint states %d want %d", total, want)
+	}
+}
+
+func TestEstimateRelativeAllZeroTargets(t *testing.T) {
+	g := graph.Star(8)
+	if _, err := EstimateRelative(g, []int{2, 3}, RelOptions{}); err == nil {
+		t.Fatal("all-zero-BC target set accepted by planner")
+	} else if !strings.Contains(err.Error(), "zero betweenness") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestExactBC(t *testing.T) {
+	g := graph.KarateClub()
+	bc, err := ExactBC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := brandes.BC(g)
+	for v := range ref {
+		if math.Abs(bc[v]-ref[v]) > 1e-12 {
+			t.Fatal("ExactBC differs from Brandes")
+		}
+	}
+	if _, err := ExactBC(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestExactBCOf(t *testing.T) {
+	g := graph.KarateClub()
+	ref := brandes.BC(g)
+	got, err := ExactBCOf(g, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ref[33]) > 1e-12 {
+		t.Fatalf("ExactBCOf %v want %v", got, ref[33])
+	}
+	if _, err := ExactBCOf(g, -1); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+}
+
+func TestMuFacade(t *testing.T) {
+	g := graph.KarateClub()
+	ms, err := Mu(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Mu <= 0 || ms.BC <= 0 {
+		t.Fatalf("mu stats %+v", ms)
+	}
+}

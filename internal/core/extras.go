@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+	"bcmh/internal/mcmc"
+	"bcmh/internal/rng"
+)
+
+// This file exposes the substrate capabilities that round out the
+// facade: exact edge betweenness (Girvan–Newman), group betweenness
+// (Everett–Borgatti), the paper's footnote-2 extended relative score,
+// and the stress-centrality MH estimator (the conclusion's
+// other-indices extension).
+
+// ExactEdgeBC computes exact edge betweenness (unordered-pair counts)
+// for every edge — the Girvan–Newman substrate.
+func ExactEdgeBC(g *graph.Graph) (map[[2]int]float64, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	return brandes.EdgeBC(g)
+}
+
+// GroupBC computes exact group betweenness centrality of the vertex
+// set (normalised over pairs outside the set).
+func GroupBC(g *graph.Graph, set []int) (float64, error) {
+	if g == nil {
+		return 0, fmt.Errorf("core: nil graph")
+	}
+	return brandes.GroupBC(g, set)
+}
+
+// ExtendedRelativeBC computes the paper's footnote-2 pair-level
+// extended relative betweenness score of ri with respect to rj,
+// exactly (O(n(m+n))).
+func ExtendedRelativeBC(g *graph.Graph, ri, rj int) (float64, error) {
+	if err := validateGraph(g); err != nil {
+		return 0, err
+	}
+	return mcmc.ExtendedRelativeExact(g, ri, rj)
+}
+
+// StressEstimate estimates the stress centrality (raw ordered-pair
+// shortest-path count) of vertex r with the MH chain extension; see
+// mcmc.EstimateStress for the estimator semantics.
+func StressEstimate(g *graph.Graph, r int, steps int, seed uint64) (mcmc.StressResult, error) {
+	if err := validateGraph(g); err != nil {
+		return mcmc.StressResult{}, err
+	}
+	return mcmc.EstimateStress(g, r, steps, rng.New(seed))
+}
+
+// ExactStress computes exact stress centrality for every vertex.
+func ExactStress(g *graph.Graph) ([]float64, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if g.Directed() {
+		return nil, fmt.Errorf("core: ExactStress requires an undirected graph")
+	}
+	return brandes.StressAll(g), nil
+}

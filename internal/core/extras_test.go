@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+)
+
+func TestExactEdgeBCFacade(t *testing.T) {
+	g := graph.Path(3)
+	ebc, err := ExactEdgeBC(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ebc[brandes.EdgeKey(0, 1)] != 2 {
+		t.Fatalf("edge bc %v", ebc)
+	}
+	if _, err := ExactEdgeBC(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestGroupBCFacade(t *testing.T) {
+	got, err := GroupBC(graph.Star(7), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("group bc %v", got)
+	}
+	if _, err := GroupBC(nil, []int{0}); err == nil {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestExtendedRelativeBCFacade(t *testing.T) {
+	g := graph.Path(4)
+	got, err := ExtendedRelativeBC(g, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10.0/12.0) > 1e-12 {
+		t.Fatalf("extended relative %v", got)
+	}
+	db := graph.NewBuilder(4)
+	db.AddEdge(0, 1)
+	if _, err := ExtendedRelativeBC(db.MustBuild(), 0, 1); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+}
+
+func TestStressFacade(t *testing.T) {
+	g := graph.KarateClub()
+	all, err := ExactStress(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := StressEstimate(g, 0, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Harmonic-all[0])/all[0] > 0.2 {
+		t.Fatalf("stress estimate %v exact %v", res.Harmonic, all[0])
+	}
+	if _, err := ExactStress(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := StressEstimate(g, 99, 10, 1); err == nil {
+		t.Fatal("bad vertex accepted")
+	}
+}

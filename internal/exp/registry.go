@@ -1,0 +1,65 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Runner regenerates one experiment's table or figure series.
+type Runner func(w io.Writer, s Scale, seed uint64) error
+
+// Experiment couples an id with its runner and a one-line description.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         Runner
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"t1", "dataset inventory", RunT1},
+		{"t2", "headline single-vertex accuracy at the Eq.14 budget", RunT2},
+		{"f1", "error vs sample budget, all estimators", RunF1},
+		{"t3", "mu(r) anatomy and bias floor", RunT3},
+		{"f2", "empirical (eps,delta)-coverage vs Theorem 1 bound", RunF2},
+		{"t4", "Theorem 2: separator mu scaling", RunT4},
+		{"t5", "joint-space ratio accuracy (Eq.22)", RunT5},
+		{"f3", "relative-score convergence and definition gap", RunF3},
+		{"t6", "ranking quality at equal budget", RunT6},
+		{"t7", "per-sample cost and Brandes crossover", RunT7},
+		{"t8", "ablations (estimator, burn-in, proposal, cache)", RunT8},
+		{"t9", "weighted graphs", RunT9},
+		{"t10", "bias decomposition", RunT10},
+		{"t11", "stress centrality via the MH chain (other-indices extension)", RunT11},
+		{"t12", "adaptive empirical-Bernstein sampling vs fixed budgets", RunT12},
+	}
+}
+
+// ByID returns the experiment with the given id (case-insensitive).
+func ByID(id string) (Experiment, error) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (have: %s)", id, strings.Join(ids, ", "))
+}
+
+// RunAll runs every experiment in order, stopping at the first error.
+func RunAll(w io.Writer, s Scale, seed uint64) error {
+	for _, e := range All() {
+		if err := e.Run(w, s, seed); err != nil {
+			return fmt.Errorf("exp: %s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcmh/internal/rng"
+)
+
+func TestPath(t *testing.T) {
+	g := Path(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Fatalf("path: n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("path degrees wrong")
+	}
+	if !IsConnected(g) {
+		t.Fatal("path disconnected")
+	}
+	// Degenerate sizes.
+	if Path(1).M() != 0 {
+		t.Fatal("single-vertex path has edges")
+	}
+}
+
+func TestCycle(t *testing.T) {
+	g := Cycle(6)
+	if g.M() != 6 {
+		t.Fatalf("cycle m=%d", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatal("cycle not 2-regular")
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g := Complete(6)
+	if g.M() != 15 {
+		t.Fatalf("K6 m=%d", g.M())
+	}
+	if g.MaxDegree() != 5 {
+		t.Fatal("K6 degree")
+	}
+}
+
+func TestStarAndWheel(t *testing.T) {
+	s := Star(9)
+	if s.Degree(0) != 8 || s.M() != 8 {
+		t.Fatal("star shape wrong")
+	}
+	w := Wheel(7)
+	if w.Degree(0) != 6 {
+		t.Fatal("wheel hub degree")
+	}
+	for v := 1; v < 7; v++ {
+		if w.Degree(v) != 3 {
+			t.Fatalf("wheel rim degree %d at %d", w.Degree(v), v)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4)
+	if g.N() != 12 {
+		t.Fatalf("grid n=%d", g.N())
+	}
+	// Edges: 3*3 horizontal + 2*4 vertical = 17.
+	if g.M() != 17 {
+		t.Fatalf("grid m=%d", g.M())
+	}
+	if ExactDiameter(g) != 5 {
+		t.Fatalf("grid diameter %d", ExactDiameter(g))
+	}
+}
+
+func TestKaryTree(t *testing.T) {
+	g := KaryTree(7, 2)
+	if g.M() != 6 || !IsConnected(g) {
+		t.Fatal("binary tree wrong")
+	}
+	if g.Degree(0) != 2 {
+		t.Fatal("root degree")
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	r := rng.New(5)
+	for _, n := range []int{1, 2, 3, 10, 100} {
+		g := RandomTree(n, r)
+		if g.N() != n || g.M() != n-1 && n > 0 {
+			if !(n == 1 && g.M() == 0) {
+				t.Fatalf("tree n=%d: m=%d", n, g.M())
+			}
+		}
+		if !IsConnected(g) {
+			t.Fatalf("tree n=%d disconnected", n)
+		}
+	}
+}
+
+func TestRandomTreeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 1
+		g := RandomTree(n, rng.New(seed))
+		return g.N() == n && g.M() == n-1 && IsConnected(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiGNP(t *testing.T) {
+	r := rng.New(7)
+	g := ErdosRenyiGNP(200, 0.05, r)
+	if g.N() != 200 {
+		t.Fatal("n wrong")
+	}
+	// Expected m = C(200,2)*0.05 = 995; allow wide slack.
+	if g.M() < 700 || g.M() > 1300 {
+		t.Fatalf("G(n,p) edge count %d far from expectation 995", g.M())
+	}
+	if ErdosRenyiGNP(10, 0, r).M() != 0 {
+		t.Fatal("p=0 should be empty")
+	}
+	if ErdosRenyiGNP(10, 1, r).M() != 45 {
+		t.Fatal("p=1 should be complete")
+	}
+}
+
+func TestErdosRenyiGNM(t *testing.T) {
+	r := rng.New(11)
+	g := ErdosRenyiGNM(50, 100, r)
+	if g.M() != 100 {
+		t.Fatalf("G(n,m) m=%d", g.M())
+	}
+	full := ErdosRenyiGNM(5, 10, r)
+	if full.M() != 10 {
+		t.Fatal("complete G(n,m)")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	r := rng.New(13)
+	g := BarabasiAlbert(500, 3, r)
+	if g.N() != 500 {
+		t.Fatal("n wrong")
+	}
+	// Each of the 497 non-seed vertices adds exactly 3 distinct edges
+	// (duplicates to the same target are prevented by the target set),
+	// plus the seed clique C(3,2)=3.
+	want := 3 + 497*3
+	if g.M() != want {
+		t.Fatalf("BA m=%d want %d", g.M(), want)
+	}
+	if !IsConnected(g) {
+		t.Fatal("BA disconnected")
+	}
+	// Scale-free signature: hub degree far above attach.
+	if g.MaxDegree() < 20 {
+		t.Fatalf("BA max degree %d suspiciously small", g.MaxDegree())
+	}
+	// attach = 1 gives a tree.
+	tree := BarabasiAlbert(100, 1, rng.New(17))
+	if tree.M() != 99 || !IsConnected(tree) {
+		t.Fatalf("BA(·,1) not a tree: m=%d", tree.M())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := rng.New(19)
+	g := WattsStrogatz(100, 4, 0.1, r)
+	if g.N() != 100 {
+		t.Fatal("n wrong")
+	}
+	// Without rewiring: exactly n*k/2 = 200 edges; with light rewiring
+	// the builder may merge a few duplicates.
+	if g.M() < 180 || g.M() > 200 {
+		t.Fatalf("WS m=%d", g.M())
+	}
+	zero := WattsStrogatz(20, 4, 0, rng.New(23))
+	if zero.M() != 40 {
+		t.Fatalf("WS beta=0 m=%d", zero.M())
+	}
+	for v := 0; v < 20; v++ {
+		if zero.Degree(v) != 4 {
+			t.Fatal("WS beta=0 not 4-regular")
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	g := RandomRegular(50, 3, rng.New(29))
+	for v := 0; v < 50; v++ {
+		if g.Degree(v) != 3 {
+			t.Fatalf("vertex %d degree %d", v, g.Degree(v))
+		}
+	}
+	if g.M() != 75 {
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestBarbell(t *testing.T) {
+	g := Barbell(5, 4, 3)
+	if g.N() != 12 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// C(5,2) + C(4,2) + 4 path edges = 10+6+4 = 20.
+	if g.M() != 20 {
+		t.Fatalf("m=%d", g.M())
+	}
+	if !IsConnected(g) {
+		t.Fatal("barbell disconnected")
+	}
+	// Path vertices are cut vertices: removing one disconnects.
+	sizes, err := ComponentsExcluding(g, 5) // first path vertex
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 {
+		t.Fatalf("cut vertex should split into 2 components, got %v", sizes)
+	}
+	// Zero-length path joins the cliques directly.
+	direct := Barbell(3, 3, 0)
+	if !direct.HasEdge(2, 3) {
+		t.Fatal("barbell pathLen=0 bridge missing")
+	}
+}
+
+func TestLollipop(t *testing.T) {
+	g := Lollipop(4, 3)
+	if g.N() != 7 || g.M() != 6+3 {
+		t.Fatalf("lollipop n=%d m=%d", g.N(), g.M())
+	}
+	if !IsConnected(g) {
+		t.Fatal("lollipop disconnected")
+	}
+}
+
+func TestDoubleStar(t *testing.T) {
+	g := DoubleStar(3, 4)
+	if g.N() != 9 || g.M() != 8 {
+		t.Fatalf("double star n=%d m=%d", g.N(), g.M())
+	}
+	if g.Degree(0) != 4 || g.Degree(1) != 5 {
+		t.Fatal("hub degrees wrong")
+	}
+	// Removing hub 0 isolates its 3 leaves → 4 components.
+	sizes, _ := ComponentsExcluding(g, 0)
+	if len(sizes) != 4 {
+		t.Fatalf("components after hub removal: %v", sizes)
+	}
+}
+
+func TestStarOfCliques(t *testing.T) {
+	g := StarOfCliques(4, 5)
+	if g.N() != 21 {
+		t.Fatalf("n=%d", g.N())
+	}
+	// 4 cliques of C(5,2)=10 plus 4 spokes.
+	if g.M() != 44 {
+		t.Fatalf("m=%d", g.M())
+	}
+	sizes, _ := ComponentsExcluding(g, 0)
+	if len(sizes) != 4 {
+		t.Fatalf("center removal should give 4 components, got %v", sizes)
+	}
+	for _, s := range sizes {
+		if s != 5 {
+			t.Fatalf("unequal component %v", sizes)
+		}
+	}
+}
+
+func TestCaveman(t *testing.T) {
+	g := Caveman(4, 5, rng.New(31))
+	if g.N() != 20 {
+		t.Fatal("n wrong")
+	}
+	if !IsConnected(g) {
+		t.Fatal("caveman disconnected")
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	r := rng.New(37)
+	g := PlantedPartition(3, 30, 0.3, 0.01, r)
+	if g.N() != 90 {
+		t.Fatal("n wrong")
+	}
+	// Count in-group vs out-group edges: in-group should dominate per pair.
+	var in, out int
+	g.ForEachEdge(func(u, v int, _ float64) {
+		if u/30 == v/30 {
+			in++
+		} else {
+			out++
+		}
+	})
+	// Expected in ≈ 3*C(30,2)*0.3 = 391, out ≈ 2700*0.01*... (2700 cross pairs per group pair *3) = 27*...
+	if in < 250 {
+		t.Fatalf("in-group edges %d too few", in)
+	}
+	if out > in/2 {
+		t.Fatalf("out-group edges %d should be rare vs %d", out, in)
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g, pts := RandomGeometric(100, 0.2, rng.New(41))
+	if g.N() != 100 || len(pts) != 100 {
+		t.Fatal("sizes wrong")
+	}
+	// Every edge must respect the radius.
+	g.ForEachEdge(func(u, v int, _ float64) {
+		dx := pts[u][0] - pts[v][0]
+		dy := pts[u][1] - pts[v][1]
+		if dx*dx+dy*dy > 0.2*0.2+1e-12 {
+			t.Fatalf("edge (%d,%d) exceeds radius", u, v)
+		}
+	})
+}
+
+func TestWithUniformWeights(t *testing.T) {
+	g := Cycle(10)
+	w := WithUniformWeights(g, 1, 5, rng.New(43))
+	if !w.Weighted() || w.M() != g.M() {
+		t.Fatal("weighted copy malformed")
+	}
+	w.ForEachEdge(func(u, v int, wt float64) {
+		if wt < 1 || wt >= 5 {
+			t.Fatalf("weight %v out of range", wt)
+		}
+	})
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"cycle-small", func() { Cycle(2) }},
+		{"wheel-small", func() { Wheel(3) }},
+		{"grid-zero", func() { Grid(0, 3) }},
+		{"gnp-badp", func() { ErdosRenyiGNP(5, 1.5, rng.New(1)) }},
+		{"gnm-overflow", func() { ErdosRenyiGNM(3, 10, rng.New(1)) }},
+		{"ba-bad", func() { BarabasiAlbert(3, 3, rng.New(1)) }},
+		{"ws-oddk", func() { WattsStrogatz(10, 3, 0.1, rng.New(1)) }},
+		{"regular-odd", func() { RandomRegular(5, 3, rng.New(1)) }},
+		{"karytree-badk", func() { KaryTree(5, 0) }},
+		{"planted-badp", func() { PlantedPartition(2, 3, 2, 0, rng.New(1)) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", tc.name)
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := BarabasiAlbert(200, 2, rng.New(99))
+	b := BarabasiAlbert(200, 2, rng.New(99))
+	if a.M() != b.M() {
+		t.Fatal("BA not deterministic")
+	}
+	for v := 0; v < a.N(); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("vertex %d adjacency differs", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestKarateClub(t *testing.T) {
+	g := KarateClub()
+	if g.N() != 34 || g.M() != 78 {
+		t.Fatalf("karate n=%d m=%d", g.N(), g.M())
+	}
+	if !IsConnected(g) {
+		t.Fatal("karate disconnected")
+	}
+	// Known degrees: vertex 33 has degree 17, vertex 0 degree 16.
+	if g.Degree(33) != 17 || g.Degree(0) != 16 {
+		t.Fatalf("karate hub degrees: %d %d", g.Degree(33), g.Degree(0))
+	}
+	gt := KarateGroundTruth()
+	if len(gt) != 34 || gt[0] != 0 || gt[33] != 1 {
+		t.Fatal("ground truth labels wrong")
+	}
+}

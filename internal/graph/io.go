@@ -1,0 +1,133 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Edge-list format: one edge per line, "u v" or "u v w" with
+// whitespace-separated non-negative integer endpoints and an optional
+// positive float weight. Lines starting with '#' or '%' and blank lines
+// are ignored (covers SNAP and KONECT headers). Vertex ids need not be
+// contiguous; they are compacted in first-appearance order and the
+// mapping returned.
+
+// ReadEdgeList parses the edge-list from rd into an undirected graph.
+// It returns the graph and idOf, where idOf[i] is the original label of
+// compacted vertex i.
+func ReadEdgeList(rd io.Reader) (*Graph, []int64, error) {
+	type edge struct {
+		u, v int
+		w    float64
+	}
+	var edges []edge
+	compact := make(map[int64]int)
+	var idOf []int64
+	intern := func(raw int64) int {
+		if id, ok := compact[raw]; ok {
+			return id
+		}
+		id := len(idOf)
+		compact[raw] = id
+		idOf = append(idOf, raw)
+		return id
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, nil, fmt.Errorf("graph: line %d: want 2 or 3 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad endpoint %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("graph: line %d: bad endpoint %q: %v", lineNo, fields[1], err)
+		}
+		w := 1.0
+		if len(fields) == 3 {
+			w, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
+			}
+			if w <= 0 {
+				return nil, nil, fmt.Errorf("graph: line %d: non-positive weight %v", lineNo, w)
+			}
+		}
+		edges = append(edges, edge{intern(u), intern(v), w})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("graph: reading edge list: %v", err)
+	}
+	b := NewBuilder(len(idOf))
+	for _, e := range edges {
+		b.AddWeightedEdge(e.u, e.v, e.w)
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, idOf, nil
+}
+
+// ReadEdgeListFile reads an edge-list file from path.
+func ReadEdgeListFile(path string) (*Graph, []int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: %v", err)
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// WriteEdgeList writes g in edge-list format, one undirected edge per
+// line (u < v), including weights when the graph is weighted.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# bcmh edge list: n=%d m=%d\n", g.N(), g.M())
+	var writeErr error
+	g.ForEachEdge(func(u, v int, wt float64) {
+		if writeErr != nil {
+			return
+		}
+		var err error
+		if g.Weighted() {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		}
+		if err != nil {
+			writeErr = err
+		}
+	})
+	if writeErr != nil {
+		return fmt.Errorf("graph: writing edge list: %v", writeErr)
+	}
+	return bw.Flush()
+}
+
+// WriteEdgeListFile writes g to path in edge-list format.
+func WriteEdgeListFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("graph: %v", err)
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

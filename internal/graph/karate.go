@@ -1,0 +1,60 @@
+package graph
+
+// karateEdges is Zachary's karate club network (Zachary 1977), the
+// canonical community-detection benchmark used by Girvan & Newman [19].
+// 34 vertices, 78 edges; vertex 0 is the instructor ("Mr. Hi"), vertex 33
+// the club administrator. The split after the club's real-world conflict
+// is the ground-truth two-community partition.
+var karateEdges = [][2]int{
+	{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8},
+	{0, 10}, {0, 11}, {0, 12}, {0, 13}, {0, 17}, {0, 19}, {0, 21}, {0, 31},
+	{1, 2}, {1, 3}, {1, 7}, {1, 13}, {1, 17}, {1, 19}, {1, 21}, {1, 30},
+	{2, 3}, {2, 7}, {2, 8}, {2, 9}, {2, 13}, {2, 27}, {2, 28}, {2, 32},
+	{3, 7}, {3, 12}, {3, 13},
+	{4, 6}, {4, 10},
+	{5, 6}, {5, 10}, {5, 16},
+	{6, 16},
+	{8, 30}, {8, 32}, {8, 33},
+	{9, 33},
+	{13, 33},
+	{14, 32}, {14, 33},
+	{15, 32}, {15, 33},
+	{18, 32}, {18, 33},
+	{19, 33},
+	{20, 32}, {20, 33},
+	{22, 32}, {22, 33},
+	{23, 25}, {23, 27}, {23, 29}, {23, 32}, {23, 33},
+	{24, 25}, {24, 27}, {24, 31},
+	{25, 31},
+	{26, 29}, {26, 33},
+	{27, 33},
+	{28, 31}, {28, 33},
+	{29, 32}, {29, 33},
+	{30, 32}, {30, 33},
+	{31, 32}, {31, 33},
+	{32, 33},
+}
+
+// KarateClub returns Zachary's karate club graph (n=34, m=78).
+func KarateClub() *Graph {
+	g, err := FromEdges(34, karateEdges)
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return g
+}
+
+// KarateGroundTruth returns the two-community ground-truth labels for
+// the karate club (0 = instructor's faction, 1 = administrator's).
+func KarateGroundTruth() []int {
+	// Standard post-split membership.
+	instructor := []int{0, 1, 2, 3, 4, 5, 6, 7, 10, 11, 12, 13, 16, 17, 19, 21}
+	labels := make([]int, 34)
+	for i := range labels {
+		labels[i] = 1
+	}
+	for _, v := range instructor {
+		labels[v] = 0
+	}
+	return labels
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bcmh/internal/rng"
+)
+
+func TestLocalClustering(t *testing.T) {
+	// Triangle: every vertex has coefficient 1.
+	tri := Complete(3)
+	for v := 0; v < 3; v++ {
+		if LocalClustering(tri, v) != 1 {
+			t.Fatalf("triangle clustering %v", LocalClustering(tri, v))
+		}
+	}
+	// Star center: no neighbor pair adjacent → 0. Leaves: degree 1 → 0.
+	s := Star(5)
+	if LocalClustering(s, 0) != 0 || LocalClustering(s, 1) != 0 {
+		t.Fatal("star clustering should be 0")
+	}
+	// Diamond 0-1,0-2,1-2,1-3,2-3: vertex 0 neighbors {1,2} adjacent →
+	// 1; vertex 1 neighbors {0,2,3}: pairs (0,2) adjacent, (0,3) no,
+	// (2,3) yes → 2/3.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	if LocalClustering(g, 0) != 1 {
+		t.Fatalf("diamond v0 clustering %v", LocalClustering(g, 0))
+	}
+	if math.Abs(LocalClustering(g, 1)-2.0/3.0) > 1e-12 {
+		t.Fatalf("diamond v1 clustering %v", LocalClustering(g, 1))
+	}
+}
+
+func TestAverageAndGlobalClustering(t *testing.T) {
+	k := Complete(6)
+	if math.Abs(AverageClustering(k)-1) > 1e-12 || math.Abs(GlobalClustering(k)-1) > 1e-12 {
+		t.Fatal("complete graph clustering should be 1")
+	}
+	tree := KaryTree(15, 2)
+	if AverageClustering(tree) != 0 || GlobalClustering(tree) != 0 {
+		t.Fatal("tree clustering should be 0")
+	}
+	// WS with beta=0 has known clustering 3(k-2)/(4(k-1)) = 0.5 for k=4.
+	ws := WattsStrogatz(40, 4, 0, rng.New(1))
+	if math.Abs(AverageClustering(ws)-0.5) > 1e-12 {
+		t.Fatalf("WS(k=4, beta=0) clustering %v want 0.5", AverageClustering(ws))
+	}
+}
+
+func TestCoreNumbers(t *testing.T) {
+	// Complete graph K5: every vertex has core number 4.
+	for _, c := range CoreNumbers(Complete(5)) {
+		if c != 4 {
+			t.Fatalf("K5 core %d", c)
+		}
+	}
+	// Tree: all core numbers 1.
+	for _, c := range CoreNumbers(KaryTree(15, 2)) {
+		if c != 1 {
+			t.Fatalf("tree core %d", c)
+		}
+	}
+	// Lollipop: clique vertices core k-1, path vertices core 1.
+	g := Lollipop(5, 3)
+	cores := CoreNumbers(g)
+	for v := 0; v < 5; v++ {
+		if cores[v] != 4 {
+			t.Fatalf("lollipop clique core %d at %d", cores[v], v)
+		}
+	}
+	for v := 5; v < 8; v++ {
+		if cores[v] != 1 {
+			t.Fatalf("lollipop tail core %d at %d", cores[v], v)
+		}
+	}
+	if Degeneracy(g) != 4 {
+		t.Fatalf("degeneracy %d", Degeneracy(g))
+	}
+}
+
+func TestCoreNumbersProperty(t *testing.T) {
+	// Invariants: core[v] <= deg(v); the subgraph induced by
+	// {v: core[v] >= k} has min degree >= k within itself for k =
+	// degeneracy.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 5
+		g := ErdosRenyiGNP(n, 5/float64(n), rng.New(seed))
+		cores := CoreNumbers(g)
+		for v := 0; v < n; v++ {
+			if cores[v] > g.Degree(v) || cores[v] < 0 {
+				return false
+			}
+		}
+		k := Degeneracy(g)
+		var keep []int
+		inSet := make([]bool, n)
+		for v, c := range cores {
+			if c >= k {
+				keep = append(keep, v)
+				inSet[v] = true
+			}
+		}
+		for _, v := range keep {
+			d := 0
+			for _, u := range g.Neighbors(v) {
+				if inSet[u] {
+					d++
+				}
+			}
+			if d < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeAssortativity(t *testing.T) {
+	// Star: perfectly disassortative (r = -1).
+	if got := DegreeAssortativity(Star(10)); math.Abs(got+1) > 1e-9 {
+		t.Fatalf("star assortativity %v want -1", got)
+	}
+	// Regular graphs: degenerate (zero variance) → 0 by convention.
+	if got := DegreeAssortativity(Cycle(10)); got != 0 {
+		t.Fatalf("cycle assortativity %v want 0", got)
+	}
+	// BA graphs are known disassortative-to-neutral; just check range.
+	got := DegreeAssortativity(BarabasiAlbert(300, 3, rng.New(3)))
+	if got < -1 || got > 1 {
+		t.Fatalf("assortativity out of range: %v", got)
+	}
+}
+
+func TestTopKByDegree(t *testing.T) {
+	g := Star(6)
+	top := TopKByDegree(g, 2)
+	if top[0] != 0 {
+		t.Fatalf("star top degree %v", top)
+	}
+	if len(TopKByDegree(g, 100)) != 6 {
+		t.Fatal("k > n should clamp")
+	}
+}

@@ -1,0 +1,145 @@
+// Package mcmc implements the paper's contribution: the single-space
+// Metropolis–Hastings sampler for estimating the betweenness score of
+// one vertex (§4.2) and the joint-space sampler for estimating relative
+// betweenness scores of a vertex set (§4.3), together with the μ(r)
+// machinery of Theorems 1–2, the Eq. 14/27 sample-size planner, exact
+// ground-truth helpers used by the experiments, and a multi-chain
+// parallel driver.
+//
+// Estimator variants: beyond the paper's Eq. 7 the package computes, on
+// the same chain, the standard MH chain average, the proposal-side
+// unbiased estimate (free by-product of the acceptance tests), and a
+// harmonic-mean corrected estimate that is consistent for BC(r) even
+// when the chain-average limit is biased (see DESIGN.md §1.1). Every
+// run reports all of them so the experiments can compare.
+package mcmc
+
+import (
+	"fmt"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+	"bcmh/internal/sssp"
+)
+
+// Oracle evaluates δ_v•(target) — one Brandes traversal per distinct v —
+// with optional memoisation. MH chains revisit states whenever a
+// proposal is rejected, so the cache converts the dominant cost from
+// O(steps · m) to O(unique-states · m).
+type Oracle struct {
+	g      *graph.Graph
+	c      *sssp.Computer
+	delta  []float64
+	target int
+	cache  map[int]float64
+	// Evals counts traversals performed (cache misses); Hits counts
+	// cache hits. Work accounting for experiments T7/T8d.
+	Evals int
+	Hits  int
+}
+
+// NewOracle returns an oracle for δ_·•(target) on g. When useCache is
+// false every Dep call performs a traversal (ablation T8d).
+func NewOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
+	if target < 0 || target >= g.N() {
+		return nil, fmt.Errorf("mcmc: oracle target %d out of range", target)
+	}
+	o := &Oracle{
+		g:      g,
+		c:      sssp.NewComputer(g),
+		delta:  make([]float64, g.N()),
+		target: target,
+	}
+	if useCache {
+		o.cache = make(map[int]float64)
+	}
+	return o, nil
+}
+
+// Dep returns δ_v•(target).
+func (o *Oracle) Dep(v int) float64 {
+	if o.cache != nil {
+		if d, ok := o.cache[v]; ok {
+			o.Hits++
+			return d
+		}
+	}
+	o.Evals++
+	d := brandes.DependencyOnTarget(o.c, o.delta, v, o.target)
+	if o.cache != nil {
+		o.cache[v] = d
+	}
+	return d
+}
+
+// Target returns the oracle's target vertex.
+func (o *Oracle) Target() int { return o.target }
+
+// SetOracle evaluates the vector (δ_v•(r))_{r ∈ R} for a fixed set R —
+// a single traversal from v yields δ_v•(x) for every x, so the whole
+// R-vector costs the same O(m) as a single entry. This is what makes
+// the joint-space sampler's per-step cost independent of |R|.
+type SetOracle struct {
+	g       *graph.Graph
+	c       *sssp.Computer
+	delta   []float64
+	targets []int
+	cache   map[int][]float64
+	Evals   int
+	Hits    int
+}
+
+// NewSetOracle returns an oracle for the target set R (which must be
+// non-empty, in range, and duplicate-free).
+func NewSetOracle(g *graph.Graph, targets []int, useCache bool) (*SetOracle, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("mcmc: empty target set")
+	}
+	seen := make(map[int]bool, len(targets))
+	for _, r := range targets {
+		if r < 0 || r >= g.N() {
+			return nil, fmt.Errorf("mcmc: set oracle target %d out of range", r)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mcmc: set oracle target %d repeated", r)
+		}
+		seen[r] = true
+	}
+	o := &SetOracle{
+		g:       g,
+		c:       sssp.NewComputer(g),
+		delta:   make([]float64, g.N()),
+		targets: append([]int(nil), targets...),
+	}
+	if useCache {
+		o.cache = make(map[int][]float64)
+	}
+	return o, nil
+}
+
+// Deps returns the dependency vector of source v on every target,
+// indexed as the targets slice passed to NewSetOracle. The returned
+// slice is owned by the cache when caching is on; callers must not
+// modify it.
+func (o *SetOracle) Deps(v int) []float64 {
+	if o.cache != nil {
+		if d, ok := o.cache[v]; ok {
+			o.Hits++
+			return d
+		}
+	}
+	o.Evals++
+	spd := o.c.Run(v)
+	brandes.Accumulate(o.g, spd, o.delta)
+	out := make([]float64, len(o.targets))
+	for i, r := range o.targets {
+		out[i] = o.delta[r]
+	}
+	if o.cache != nil {
+		o.cache[v] = out
+	}
+	return out
+}
+
+// Targets returns the oracle's target set (not a copy; do not modify).
+func (o *SetOracle) Targets() []int { return o.targets }

@@ -1,0 +1,121 @@
+package mcmc
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+)
+
+// MultiResult aggregates independent chains run in parallel.
+type MultiResult struct {
+	// Combined pools every chain's states into one estimate per
+	// estimator kind (equal weights: all chains run the same number of
+	// steps).
+	Combined Result
+	// PerChain holds each chain's own Result, in chain order (results
+	// are deterministic given the seed regardless of scheduling).
+	PerChain []Result
+	// BetweenChainStdDev is the standard deviation of the per-chain
+	// primary estimates — a cheap convergence diagnostic (large values
+	// mean chains disagree and T is too small).
+	BetweenChainStdDev float64
+}
+
+// EstimateBCParallel runs `chains` independent single-space samplers
+// with split RNG streams and pools them. Pooling chain averages of
+// equal-length chains is again a chain average, so every guarantee
+// stated for one chain of T steps applies to the pooled estimator with
+// T' = chains·T steps (the chains are independent, which only helps).
+// Deterministic given (seed, chains, cfg): chain i always consumes the
+// stream seed.Split("chain-i").
+func EstimateBCParallel(g *graph.Graph, r int, cfg Config, seed uint64, chains int) (MultiResult, error) {
+	if chains <= 0 {
+		return MultiResult{}, fmt.Errorf("mcmc: chains must be positive, got %d", chains)
+	}
+	n := g.N()
+	if n < 2 {
+		return MultiResult{}, fmt.Errorf("mcmc: graph too small (n=%d)", n)
+	}
+	if err := cfg.validate(n); err != nil {
+		return MultiResult{}, err
+	}
+	results := make([]Result, chains)
+	errs := make([]error, chains)
+	var wg sync.WaitGroup
+	root := rng.New(seed)
+	for i := 0; i < chains; i++ {
+		// Split in loop order so streams don't depend on scheduling.
+		chainRNG := root.Split(fmt.Sprintf("chain-%d", i))
+		wg.Add(1)
+		go func(i int, chainRNG *rng.RNG) {
+			defer wg.Done()
+			// Each chain gets its own oracle: sssp computers are not
+			// concurrency-safe, and separate caches keep work accounting
+			// honest.
+			oracle, err := NewOracle(g, r, !cfg.DisableCache)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res := runSingleChain(g, oracle, cfg, chainRNG)
+			res.Evals = oracle.Evals
+			res.CacheHits = oracle.Hits
+			results[i] = res
+		}(i, chainRNG)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return MultiResult{}, err
+		}
+	}
+	var m MultiResult
+	m.PerChain = results
+	// Pool: equal-length chains → simple means; work sums; max of maxes.
+	var sumVar float64
+	var meanEst float64
+	for _, r := range results {
+		m.Combined.ChainAverage += r.ChainAverage
+		m.Combined.PaperEq7 += r.PaperEq7
+		m.Combined.ProposalSide += r.ProposalSide
+		m.Combined.Harmonic += r.Harmonic
+		m.Combined.AcceptanceRate += r.AcceptanceRate
+		m.Combined.MeanDepProposal += r.MeanDepProposal
+		m.Combined.Evals += r.Evals
+		m.Combined.CacheHits += r.CacheHits
+		m.Combined.UniqueStates += r.UniqueStates // upper bound (chains may overlap)
+		if r.MaxDepSeen > m.Combined.MaxDepSeen {
+			m.Combined.MaxDepSeen = r.MaxDepSeen
+		}
+		meanEst += r.Estimate
+	}
+	k := float64(chains)
+	m.Combined.ChainAverage /= k
+	m.Combined.PaperEq7 /= k
+	m.Combined.ProposalSide /= k
+	m.Combined.Harmonic /= k
+	m.Combined.AcceptanceRate /= k
+	m.Combined.MeanDepProposal /= k
+	meanEst /= k
+	for _, r := range results {
+		d := r.Estimate - meanEst
+		sumVar += d * d
+	}
+	if chains > 1 {
+		m.BetweenChainStdDev = math.Sqrt(sumVar / float64(chains-1))
+	}
+	switch cfg.Estimator {
+	case EstimatorChainAverage:
+		m.Combined.Estimate = m.Combined.ChainAverage
+	case EstimatorPaperEq7:
+		m.Combined.Estimate = m.Combined.PaperEq7
+	case EstimatorProposalSide:
+		m.Combined.Estimate = m.Combined.ProposalSide
+	case EstimatorHarmonic:
+		m.Combined.Estimate = m.Combined.Harmonic
+	}
+	return m, nil
+}

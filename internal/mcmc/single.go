@@ -1,0 +1,339 @@
+package mcmc
+
+import (
+	"fmt"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+)
+
+// EstimatorKind selects which estimate a Result reports as its primary
+// Estimate. All variants are computed on every run (they share the
+// chain), so switching kinds re-reads the same Result fields.
+type EstimatorKind int
+
+const (
+	// EstimatorChainAverage is the standard MH estimator: f averaged
+	// over every chain state, a rejected step repeating the current
+	// state. This is the estimator the bound of [23] actually concerns
+	// and the default.
+	EstimatorChainAverage EstimatorKind = iota
+	// EstimatorPaperEq7 is the paper's Eq. 7 read literally: f summed
+	// over the multiset of accepted states (initial state included)
+	// and divided by T+1.
+	EstimatorPaperEq7
+	// EstimatorProposalSide averages f over the uniformly proposed
+	// states — the acceptance test evaluates δ there anyway, so this
+	// unbiased estimate (identical in distribution to the uniform
+	// source sampler [2]) is free. See DESIGN.md §1.1.
+	EstimatorProposalSide
+	// EstimatorHarmonic is the corrected consistent estimator of BC(r):
+	// with the chain stationary at π ∝ δ, E_π[1/δ] = n⁺/Σδ, and n⁺/n is
+	// estimated from the proposal stream; then BC(r) = Σδ/(n(n-1)).
+	// An extension beyond the paper, off by default.
+	EstimatorHarmonic
+)
+
+// String returns the table label of the estimator kind.
+func (k EstimatorKind) String() string {
+	switch k {
+	case EstimatorChainAverage:
+		return "chain-avg"
+	case EstimatorPaperEq7:
+		return "eq7-literal"
+	case EstimatorProposalSide:
+		return "proposal-side"
+	case EstimatorHarmonic:
+		return "harmonic"
+	default:
+		return fmt.Sprintf("EstimatorKind(%d)", int(k))
+	}
+}
+
+// Config parameterises the single-space sampler. The zero value is not
+// valid: Steps must be positive. Defaults chosen by DefaultConfig match
+// the paper (uniform proposal, no burn-in, chain-average estimator,
+// memoised oracle).
+type Config struct {
+	// Steps is T, the number of MH iterations; the chain visits T+1
+	// states (Eq. 7's normalisation).
+	Steps int
+	// BurnIn discards this many leading chain states from all chain
+	// averages. The paper proves no burn-in is needed (Inequality 12
+	// holds from any initial state); nonzero values exist for the
+	// ablation T8c.
+	BurnIn int
+	// Estimator selects the primary estimate (see EstimatorKind).
+	Estimator EstimatorKind
+	// DegreeProposal proposes states proportionally to degree instead
+	// of uniformly (ablation T8b). The proposal-side estimate is
+	// importance-corrected accordingly; the chain's acceptance rule is
+	// Hastings-corrected so the stationary distribution is unchanged.
+	DegreeProposal bool
+	// DisableCache turns off dependency memoisation (ablation T8d).
+	DisableCache bool
+	// InitState fixes the initial state; -1 (default) draws it
+	// uniformly at random.
+	InitState int
+	// TraceEvery, when positive, records the running primary estimate
+	// every TraceEvery steps into Result.Trace (experiment F1 series).
+	TraceEvery int
+	// CollectFTrace records the raw f(v_t) value of every counted chain
+	// state into Result.FTrace, feeding the Diagnose convergence
+	// diagnostics. One float64 per step of memory.
+	CollectFTrace bool
+}
+
+// DefaultConfig returns the paper-faithful configuration with the given
+// number of steps.
+func DefaultConfig(steps int) Config {
+	return Config{Steps: steps, InitState: -1}
+}
+
+// Result carries every estimate and diagnostic from one run.
+type Result struct {
+	// Estimate is the estimator selected by Config.Estimator.
+	Estimate float64
+	// ChainAverage, PaperEq7, ProposalSide, Harmonic are the individual
+	// estimator variants (always all computed).
+	ChainAverage float64
+	PaperEq7     float64
+	ProposalSide float64
+	Harmonic     float64
+
+	// AcceptanceRate is accepted transitions / Steps.
+	AcceptanceRate float64
+	// UniqueStates is the number of distinct vertices the chain visited.
+	UniqueStates int
+	// Evals and CacheHits report oracle work (traversals vs memo hits).
+	Evals     int
+	CacheHits int
+	// MaxDepSeen and MeanDepProposal support the empirical μ̂ lower
+	// bound: max δ over every state evaluated, and the unbiased mean of
+	// δ over uniform proposals. MuHat = MaxDepSeen/MeanDepProposal.
+	MaxDepSeen      float64
+	MeanDepProposal float64
+	// Trace is the running primary estimate at every TraceEvery steps
+	// (nil unless requested).
+	Trace []float64
+	// FTrace holds f(v_t) for every counted chain state (nil unless
+	// Config.CollectFTrace was set); feed it to Diagnose.
+	FTrace []float64
+}
+
+// MuHat returns the empirical lower-bound estimate of μ(target):
+// max observed dependency over the unbiased mean dependency. Zero when
+// no dependency mass was seen.
+func (r *Result) MuHat() float64 {
+	if r.MeanDepProposal <= 0 {
+		return 0
+	}
+	return r.MaxDepSeen / r.MeanDepProposal
+}
+
+func (c *Config) validate(n int) error {
+	if c.Steps <= 0 {
+		return fmt.Errorf("mcmc: Steps must be positive, got %d", c.Steps)
+	}
+	if c.BurnIn < 0 || c.BurnIn > c.Steps {
+		return fmt.Errorf("mcmc: BurnIn %d out of [0, Steps=%d]", c.BurnIn, c.Steps)
+	}
+	if c.InitState >= n {
+		return fmt.Errorf("mcmc: InitState %d out of range (n=%d)", c.InitState, n)
+	}
+	if c.TraceEvery < 0 {
+		return fmt.Errorf("mcmc: TraceEvery must be non-negative")
+	}
+	return nil
+}
+
+// EstimateBC runs the single-space Metropolis–Hastings sampler of §4.2
+// to estimate the betweenness score of vertex r in the connected
+// undirected graph g.
+//
+// The chain's state space is V(G); proposals are uniform (Eq. 6) or
+// degree-weighted (Hastings-corrected); the move v→v' is accepted with
+// probability min{1, δ_{v'}•(r)/δ_v•(r)}, so the stationary
+// distribution is P_r[v] ∝ δ_v•(r) (Eq. 5, the optimal sampling
+// distribution of [13]).
+func EstimateBC(g *graph.Graph, r int, cfg Config, rnd *rng.RNG) (Result, error) {
+	n := g.N()
+	if n < 2 {
+		return Result{}, fmt.Errorf("mcmc: graph too small (n=%d)", n)
+	}
+	if err := cfg.validate(n); err != nil {
+		return Result{}, err
+	}
+	oracle, err := NewOracle(g, r, !cfg.DisableCache)
+	if err != nil {
+		return Result{}, err
+	}
+	res := runSingleChain(g, oracle, cfg, rnd)
+	res.Evals = oracle.Evals
+	res.CacheHits = oracle.Hits
+	return res, nil
+}
+
+// f(v) = δ_v•(r)/(n-1): the paper's per-state statistic, ∈ [0,1).
+func fOf(dep float64, n int) float64 { return dep / float64(n-1) }
+
+// acceptMH returns whether to move given current and proposed
+// dependency scores, with the zero-state conventions from DESIGN.md:
+// δ'>0,δ=0 → accept (ratio ∞); δ'=0,δ>0 → reject (ratio 0);
+// 0/0 → accept (the chain must escape zero-mass states).
+func acceptMH(depCur, depNew, hastings float64, rnd *rng.RNG) bool {
+	if depCur == 0 {
+		return true
+	}
+	if depNew == 0 {
+		return false
+	}
+	ratio := depNew / depCur * hastings
+	if ratio >= 1 {
+		return true
+	}
+	return rnd.Float64() < ratio
+}
+
+// runSingleChain is the core loop shared by EstimateBC and the
+// multi-chain driver (which aggregates partial results itself).
+func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG) Result {
+	n := g.N()
+	var res Result
+
+	// Degree-weighted proposal setup (ablation T8b). g(v) = deg(v)/2m;
+	// the Hastings factor for the acceptance of v→v' is g(v)/g(v') =
+	// deg(v)/deg(v').
+	var degAlias *rng.Alias
+	if cfg.DegreeProposal {
+		w := make([]float64, n)
+		for v := 0; v < n; v++ {
+			w[v] = float64(g.Degree(v))
+		}
+		degAlias = rng.NewAlias(w)
+	}
+	propose := func() int {
+		if degAlias != nil {
+			return degAlias.Draw(rnd)
+		}
+		return rnd.Intn(n)
+	}
+
+	cur := cfg.InitState
+	if cur < 0 {
+		cur = rnd.Intn(n)
+	}
+	depCur := oracle.Dep(cur)
+	res.MaxDepSeen = depCur
+
+	visited := make(map[int]bool, 64)
+	visited[cur] = true
+
+	// Accumulators. "Counted" sums skip the first BurnIn states.
+	var (
+		chainSum    float64 // Σ f over chain states (incl. repeats)
+		chainStates int
+		eq7Sum      float64 // Σ f over accepted states only
+		propSum     float64 // Σ importance-weighted f over proposals
+		propCount   int
+		propPosFrac float64 // importance-weighted count of proposals with δ>0 (for n⁺/n)
+		invSum      float64 // Σ 1/δ over chain states with δ>0
+		invCount    int
+		depPropSum  float64 // Σ δ over uniform-equivalent proposals
+		accepted    int
+	)
+	countState := func(dep float64, stateIdx int) {
+		if stateIdx < cfg.BurnIn {
+			return
+		}
+		f := fOf(dep, n)
+		chainSum += f
+		chainStates++
+		if cfg.CollectFTrace {
+			res.FTrace = append(res.FTrace, f)
+		}
+		if dep > 0 {
+			invSum += 1 / dep
+			invCount++
+		}
+	}
+	// State 0 is the initial state; Eq. 7's multiset includes it.
+	countState(depCur, 0)
+	eq7Sum += fOf(depCur, n)
+
+	finish := func() {
+		// Chain average over counted states.
+		if chainStates > 0 {
+			res.ChainAverage = chainSum / float64(chainStates)
+		}
+		// Eq. 7 literal: accepted-state sum over T+1.
+		res.PaperEq7 = eq7Sum / float64(cfg.Steps+1)
+		if propCount > 0 {
+			res.ProposalSide = propSum / float64(propCount)
+		}
+		// Harmonic correction: Σδ ≈ n·p⁺ / mean(1/δ);
+		// BC = Σδ/(n(n-1)) ⇒ BC ≈ p⁺ / (mean(1/δ)·(n-1)).
+		if invCount > 0 && propCount > 0 {
+			pPos := propPosFrac / float64(propCount)
+			meanInv := invSum / float64(invCount)
+			if meanInv > 0 {
+				res.Harmonic = pPos / (meanInv * float64(n-1))
+			}
+		}
+		switch cfg.Estimator {
+		case EstimatorChainAverage:
+			res.Estimate = res.ChainAverage
+		case EstimatorPaperEq7:
+			res.Estimate = res.PaperEq7
+		case EstimatorProposalSide:
+			res.Estimate = res.ProposalSide
+		case EstimatorHarmonic:
+			res.Estimate = res.Harmonic
+		}
+	}
+
+	for t := 1; t <= cfg.Steps; t++ {
+		prop := propose()
+		depNew := oracle.Dep(prop)
+		if depNew > res.MaxDepSeen {
+			res.MaxDepSeen = depNew
+		}
+		// Proposal-side statistics. With uniform proposals the weight
+		// is 1; with degree proposals each draw is importance-weighted
+		// by (1/n)/g(v') = 2m/(n·deg(v')).
+		weight := 1.0
+		if cfg.DegreeProposal {
+			weight = 2 * float64(g.M()) / (float64(n) * float64(g.Degree(prop)))
+		}
+		propSum += weight * fOf(depNew, n)
+		depPropSum += weight * depNew
+		if depNew > 0 {
+			propPosFrac += weight
+		}
+		propCount++
+
+		hastings := 1.0
+		if cfg.DegreeProposal {
+			hastings = float64(g.Degree(cur)) / float64(g.Degree(prop))
+		}
+		if acceptMH(depCur, depNew, hastings, rnd) {
+			cur = prop
+			depCur = depNew
+			accepted++
+			visited[cur] = true
+			eq7Sum += fOf(depCur, n)
+		}
+		countState(depCur, t)
+		if cfg.TraceEvery > 0 && t%cfg.TraceEvery == 0 {
+			finish()
+			res.Trace = append(res.Trace, res.Estimate)
+		}
+	}
+	finish()
+	res.AcceptanceRate = float64(accepted) / float64(cfg.Steps)
+	res.UniqueStates = len(visited)
+	if propCount > 0 {
+		res.MeanDepProposal = depPropSum / float64(propCount)
+	}
+	return res
+}

@@ -1,0 +1,128 @@
+package sampler
+
+import (
+	"math"
+	"testing"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+	"bcmh/internal/stats"
+)
+
+func TestAdaptiveCertifies(t *testing.T) {
+	g := graph.KarateClub()
+	exact := brandes.BC(g)
+	a, err := NewAdaptive(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.Run(0.05, 0.1, 0, 1<<20, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certified {
+		t.Fatalf("failed to certify: %+v", res)
+	}
+	if math.Abs(res.Estimate-exact[0]) > 0.05 {
+		t.Fatalf("certified estimate %v exceeds eps from exact %v", res.Estimate, exact[0])
+	}
+	if res.Radius > 0.05 {
+		t.Fatalf("radius %v above eps", res.Radius)
+	}
+}
+
+func TestAdaptiveStopsEarlierForEasyTargets(t *testing.T) {
+	// At equal eps, a low-variance target (star center: f is constant
+	// (n-2)/(n-1) on the 99% of draws that hit a leaf) certifies with
+	// far fewer samples than a high-variance one (BA hub, whose f
+	// values are heavily dispersed), and undercuts the
+	// distribution-free Hoeffding plan — the whole point of the
+	// variance-adaptive stopping rule of ABRA [31].
+	const eps, delta = 0.01, 0.1
+	star := graph.Star(100)
+	aStar, _ := NewAdaptive(star, 0)
+	resStar, err := aStar.Run(eps, delta, 0, 1<<20, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba := graph.BarabasiAlbert(300, 3, rng.New(7))
+	bc := brandes.BC(ba)
+	top := 0
+	for v := range bc {
+		if bc[v] > bc[top] {
+			top = v
+		}
+	}
+	aBA, _ := NewAdaptive(ba, top)
+	resBA, err := aBA.Run(eps, delta, 0, 1<<20, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resStar.Certified || !resBA.Certified {
+		t.Fatalf("certification failed: star %+v ba %+v", resStar, resBA)
+	}
+	if resStar.Samples >= resBA.Samples {
+		t.Fatalf("easy target took %d samples vs hard target %d", resStar.Samples, resBA.Samples)
+	}
+	// The low-variance target must undercut Hoeffding; the
+	// high-variance one may legitimately exceed it (Bernstein's 2σ²
+	// beats Hoeffding's 1/2 only when variance is small).
+	if resStar.Samples >= stats.HoeffdingN(eps, delta) {
+		t.Fatalf("adaptive on easy target (%d) did not beat Hoeffding (%d)",
+			resStar.Samples, stats.HoeffdingN(eps, delta))
+	}
+}
+
+func TestAdaptiveMaxSamplesCap(t *testing.T) {
+	g := graph.KarateClub()
+	a, _ := NewAdaptive(g, 0)
+	res, err := a.Run(1e-9, 0.1, 0, 50, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certified || res.Samples != 50 {
+		t.Fatalf("cap not honoured: %+v", res)
+	}
+}
+
+func TestAdaptiveCoverage(t *testing.T) {
+	// The (eps,delta) guarantee: violations in at most ~delta of runs.
+	g := graph.Grid(8, 8)
+	exact := brandes.BC(g)
+	target := 3*8 + 4
+	a, _ := NewAdaptive(g, target)
+	eps, delta := 0.04, 0.2
+	r := rng.New(17)
+	violations := 0
+	const reps = 60
+	for i := 0; i < reps; i++ {
+		res, err := a.Run(eps, delta, 0, 1<<20, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Estimate-exact[target]) > eps {
+			violations++
+		}
+	}
+	if frac := float64(violations) / reps; frac > delta {
+		t.Fatalf("violation rate %v exceeds delta %v", frac, delta)
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := NewAdaptive(g, 9); err == nil {
+		t.Fatal("bad target accepted")
+	}
+	a, _ := NewAdaptive(g, 1)
+	if _, err := a.Run(0, 0.1, 0, 10, rng.New(1)); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := a.Run(0.1, 2, 0, 10, rng.New(1)); err == nil {
+		t.Fatal("delta=2 accepted")
+	}
+	if _, err := a.Run(0.1, 0.1, 0, 0, rng.New(1)); err == nil {
+		t.Fatal("maxSamples=0 accepted")
+	}
+}

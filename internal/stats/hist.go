@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the
+// range are clamped into the first/last bin so no observation is lost
+// (the experiments histogram dependency scores whose support is known
+// only approximately in advance).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: NewHistogram with non-positive bins")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	b := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts))))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.Counts) {
+		b = len(h.Counts) - 1
+	}
+	h.Counts[b]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations in bin b.
+func (h *Histogram) Fraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[b]) / float64(h.total)
+}
+
+// String renders a compact ASCII bar chart, one line per bin, suitable
+// for experiment logs.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&sb, "[%10.4g,%10.4g) %7d %s\n",
+			h.Lo+float64(i)*width, h.Lo+float64(i+1)*width, c,
+			strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

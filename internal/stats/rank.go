@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks returns the 1-based fractional ranks of xs: ties receive the
+// average of the rank positions they span (the convention Spearman's ρ
+// expects). The input is not modified.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation ρ between x and y
+// (Pearson correlation of the fractional ranks).
+func Spearman(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Spearman length mismatch")
+	}
+	return Pearson(Ranks(x), Ranks(y))
+}
+
+// KendallTau returns Kendall's τ-b rank correlation between x and y,
+// which corrects for ties on either side. O(n²); the rankings compared
+// in the experiments have at most a few dozen entries.
+func KendallTau(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: KendallTau length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Joint tie: contributes to neither denominator term.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if denom == 0 {
+		return 0
+	}
+	return (concordant - discordant) / denom
+}
+
+// TopKOverlap returns |topK(x) ∩ topK(y)| / k where topK selects the
+// indices of the k largest values (ties broken by lower index, making the
+// measure deterministic). It panics if k exceeds the length.
+func TopKOverlap(x, y []float64, k int) float64 {
+	if len(x) != len(y) {
+		panic("stats: TopKOverlap length mismatch")
+	}
+	if k <= 0 || k > len(x) {
+		panic("stats: TopKOverlap k out of range")
+	}
+	top := func(v []float64) map[int]bool {
+		idx := make([]int, len(v))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if v[idx[a]] != v[idx[b]] {
+				return v[idx[a]] > v[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		set := make(map[int]bool, k)
+		for _, i := range idx[:k] {
+			set[i] = true
+		}
+		return set
+	}
+	tx, ty := top(x), top(y)
+	inter := 0
+	for i := range tx {
+		if ty[i] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(k)
+}
