@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"bcmh/internal/brandes"
+	"bcmh/internal/core"
+	"bcmh/internal/engine"
 	"bcmh/internal/exp"
 	"bcmh/internal/graph"
 	"bcmh/internal/mcmc"
@@ -238,6 +240,90 @@ func BenchmarkT11Stress(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := mcmc.EstimateStress(fixBA, fixTop, 1024, r); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// batchTargets returns the 32-target batch workload the engine
+// benchmarks share: 8 distinct vertices of fixBA (the top-degree hub
+// plus 7 others), each requested 4 times — the repeated/overlapping
+// traffic shape a multi-user deployment sees.
+func batchTargets() []int {
+	fixtures()
+	distinct := []int{fixTop}
+	for v := 0; len(distinct) < 8; v++ {
+		if v != fixTop {
+			distinct = append(distinct, v)
+		}
+	}
+	targets := make([]int, 0, 32)
+	for i := 0; i < 4; i++ {
+		targets = append(targets, distinct...)
+	}
+	return targets
+}
+
+// batchBenchOpts is the per-target estimation request used by the
+// batch benchmarks: planned steps (so the O(nm) μ derivation is part
+// of the work) clamped low enough that chain time doesn't drown out
+// the planning cost being amortized.
+func batchBenchOpts() core.Options {
+	return core.Options{Epsilon: 0.05, Delta: 0.1, MaxSteps: 2048}
+}
+
+// BenchmarkEngineBatch32 measures Engine.EstimateBatch over the
+// 32-target overlapping workload with a cold engine per iteration:
+// μ is derived once per distinct vertex (8 times) and duplicate
+// targets are dispatched once, versus 32 full derivations in the
+// sequential baseline below.
+func BenchmarkEngineBatch32(b *testing.B) {
+	targets := batchTargets()
+	opts := engine.BatchOptions{Estimation: batchBenchOpts(), Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(fixBA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.EstimateBatch(targets, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineBatch32Warm is the steady-state variant: one engine
+// across iterations, so after the first batch every request is a
+// result-cache hit — the serving regime the ROADMAP's multi-user
+// traffic goal targets.
+func BenchmarkEngineBatch32Warm(b *testing.B) {
+	targets := batchTargets()
+	eng, err := engine.New(fixBA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := engine.BatchOptions{Estimation: batchBenchOpts(), Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EstimateBatch(targets, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialBatch32 is the baseline the engine must beat: the
+// same 32 targets and seeds through core.EstimateBC one at a time,
+// which re-validates the graph and re-derives μ from scratch (O(nm))
+// on every call and shares no buffers.
+func BenchmarkSequentialBatch32(b *testing.B) {
+	targets := batchTargets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range targets {
+			opts := batchBenchOpts()
+			opts.Seed = engine.SeedFor(1, r)
+			if _, err := core.EstimateBC(fixBA, r, opts); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }

@@ -1,10 +1,38 @@
 // Package bcmh reproduces "Metropolis-Hastings Algorithms for
 // Estimating Betweenness Centrality in Large Networks" (Chehreghani,
-// Abdessalem, Bifet; EDBT 2019 / arXiv:1704.07351).
+// Abdessalem, Bifet; EDBT 2019 / arXiv:1704.07351) and grows it into a
+// serving system.
 //
-// The implementation lives under internal/: see internal/core for the
-// public facade, internal/mcmc for the paper's samplers, and DESIGN.md
-// for the full system inventory. Executables are under cmd/ and
-// runnable examples under examples/. bench_test.go in this directory
-// carries one testing.B benchmark per reproduced table/figure.
+// # Layout
+//
+// The library lives under internal/:
+//
+//   - internal/core — the validated single-request facade
+//     (EstimateBC, EstimateRelative, ExactBC, Prepare).
+//   - internal/mcmc — the paper's samplers: the single-space MH chain
+//     (§4.2), the joint-space relative sampler (§4.3), the μ(r)
+//     machinery of Theorems 1–2, and the Eq. 14/27 planner.
+//   - internal/engine — the batch estimation subsystem: one prepared
+//     graph handle serving concurrent requests with a shared μ-cache,
+//     a bounded LRU of completed estimates, pooled traversal buffers,
+//     and a deterministic batch worker pool; includes the HTTP/JSON
+//     handlers cmd/bcserve mounts.
+//   - internal/brandes, internal/sssp, internal/graph, internal/rng,
+//     internal/stats, internal/sampler — the exact-algorithm, traversal,
+//     graph, randomness, statistics, and baseline-sampler substrates.
+//   - internal/exp — the table/figure reproduction harness
+//     (see DESIGN.md and EXPERIMENTS.md).
+//
+// Executables are under cmd/ (bcmh, bcserve, bcbench, bcexact, bcgen)
+// and runnable examples under examples/. bench_test.go in this
+// directory carries one testing.B benchmark per reproduced
+// table/figure plus the engine batch-vs-sequential comparison.
+//
+// # Testing conventions
+//
+// `go test -short ./...` is the tier the CI runs (with -race) and must
+// stay fast (seconds); expensive statistical suites — the full
+// experiment runner, long-chain stationarity checks, tight-epsilon
+// certification — are skipped or shrunk under testing.Short. The full
+// `go test ./...` runs everything and takes about a minute.
 package bcmh

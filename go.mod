@@ -1,0 +1,3 @@
+module bcmh
+
+go 1.24

@@ -59,19 +59,49 @@ type Options struct {
 
 func (o *Options) withDefaults() Options {
 	out := *o
-	if out.Epsilon == 0 {
+	// Non-positive values mean "use the default" uniformly, so every
+	// way of spelling the same request normalizes to one Options value.
+	if out.Steps < 0 {
+		out.Steps = 0
+	}
+	if out.MuBound < 0 {
+		out.MuBound = 0
+	}
+	if out.Epsilon <= 0 {
 		out.Epsilon = 0.01
 	}
-	if out.Delta == 0 {
+	if out.Delta <= 0 {
 		out.Delta = 0.1
 	}
-	if out.MaxSteps == 0 {
+	if out.MaxSteps <= 0 {
 		out.MaxSteps = DefaultMaxSteps
 	}
-	if out.Chains == 0 {
+	if out.Chains < 1 {
 		out.Chains = 1
 	}
 	return out
+}
+
+// Normalized returns o with every defaulted field resolved to its
+// concrete value. Two Options that request the same estimation compare
+// equal after Normalized, which is what caches keyed on Options
+// (internal/engine) rely on.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
+// PlanFromMu returns the chain length EstimateBC plans for a known
+// μ(r) under opts: Eq. 14 via mcmc.PlanSteps, clamped to
+// [1, opts.MaxSteps]. Exported so batch front-ends can plan steps from
+// a cached μ without re-deriving the dependency column.
+func PlanFromMu(opts Options, mu float64) int {
+	o := opts.withDefaults()
+	steps := mcmc.PlanSteps(o.Epsilon, o.Delta, mu)
+	if steps > o.MaxSteps {
+		steps = o.MaxSteps
+	}
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
 }
 
 // Estimate is the result of a single-vertex estimation.
@@ -143,33 +173,44 @@ func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: vertex %d out of range [0,%d)", r, g.N())
 	}
 	o := opts.withDefaults()
+	mu := o.MuBound
+	if o.Steps <= 0 && mu <= 0 {
+		ms, err := mcmc.MuExact(g, r)
+		if err != nil {
+			return Estimate{}, err
+		}
+		mu = ms.Mu
+	}
+	return EstimateBCPrepared(g, r, o, mu, nil)
+}
+
+// EstimateBCPrepared is the estimation kernel behind EstimateBC for
+// callers that have already amortised the per-request setup: g must be
+// valid for estimation (connected and undirected, e.g. from Prepare —
+// only the vertex range is re-checked here), μ is supplied when known
+// (a cached MuExact or an analytic bound; ignored when opts.Steps is
+// fixed), and chain traversal buffers are drawn from pool when
+// non-nil. internal/engine serves every request through this entry
+// point. A non-positive μ with unplanned steps means the dependency
+// column is all-zero, so BC(r) = 0 exactly and no chain is run.
+func EstimateBCPrepared(g *graph.Graph, r int, opts Options, mu float64, pool *mcmc.BufferPool) (Estimate, error) {
+	if r < 0 || r >= g.N() {
+		return Estimate{}, fmt.Errorf("core: vertex %d out of range [0,%d)", r, g.N())
+	}
+	o := opts.withDefaults()
 	var est Estimate
 	steps := o.Steps
 	if steps <= 0 {
-		mu := o.MuBound
 		if mu <= 0 {
-			ms, err := mcmc.MuExact(g, r)
-			if err != nil {
-				return Estimate{}, err
-			}
-			mu = ms.Mu
-			if mu <= 0 {
-				// All-zero dependency column: BC(r) = 0 exactly; no
-				// sampling needed.
-				est.Value = 0
-				est.PlannedSteps = 0
-				est.Chains = 0
-				return est, nil
-			}
+			// All-zero dependency column: BC(r) = 0 exactly; no
+			// sampling needed.
+			est.Value = 0
+			est.PlannedSteps = 0
+			est.Chains = 0
+			return est, nil
 		}
 		est.MuUsed = mu
-		steps = mcmc.PlanSteps(o.Epsilon, o.Delta, mu)
-		if steps > o.MaxSteps {
-			steps = o.MaxSteps
-		}
-		if steps < 1 {
-			steps = 1
-		}
+		steps = PlanFromMu(o, mu)
 	}
 	cfg := mcmc.Config{
 		Steps:          steps,
@@ -182,7 +223,7 @@ func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
 	est.PlannedSteps = steps
 	est.Chains = o.Chains
 	if o.Chains > 1 {
-		multi, err := mcmc.EstimateBCParallel(g, r, cfg, o.Seed, o.Chains)
+		multi, err := mcmc.EstimateBCParallelPooled(g, r, cfg, o.Seed, o.Chains, pool)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -191,7 +232,7 @@ func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
 		est.PerChain = multi.PerChain
 		return est, nil
 	}
-	res, err := mcmc.EstimateBC(g, r, cfg, rng.New(o.Seed))
+	res, err := mcmc.EstimateBCPooled(g, r, cfg, rng.New(o.Seed), pool)
 	if err != nil {
 		return Estimate{}, err
 	}

@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"runtime"
+	"strconv"
+	"sync"
+
+	"bcmh/internal/core"
+	"bcmh/internal/rng"
+)
+
+// BatchOptions configures EstimateBatch.
+type BatchOptions struct {
+	// Estimation carries the per-target estimation options. Its Seed
+	// field is ignored: each target's chain seed is derived from the
+	// request Seed below.
+	Estimation core.Options
+	// Seed is the request seed. Target r's chain seed is SeedFor(Seed,
+	// r) — a deterministic function of the pair alone — so a batch is
+	// reproducible and its per-target results are independent of target
+	// order, duplicate grouping, and Concurrency.
+	Seed uint64
+	// Concurrency bounds the worker pool (default GOMAXPROCS).
+	Concurrency int
+}
+
+// BatchResult pairs one requested target with its estimate, in request
+// order.
+type BatchResult struct {
+	Target   int
+	Estimate core.Estimate
+}
+
+// SeedFor returns the chain seed EstimateBatch uses for one target
+// under a request seed. Exported so a single Estimate call can
+// reproduce any batch entry exactly.
+func SeedFor(seed uint64, target int) uint64 {
+	return rng.New(seed).Split("target-" + strconv.Itoa(target)).Uint64()
+}
+
+// EstimateBatch estimates every target in targets over a worker pool,
+// sharing the engine's μ-cache, result cache, and buffer pool across
+// workers. Duplicate targets are dispatched once — they would use the
+// same derived seed anyway, and fanning the one estimate to every
+// occurrence avoids racing workers redundantly computing the same
+// chain. Results come back in request order; the first estimation
+// error (if any) aborts with that error.
+func (e *Engine) EstimateBatch(targets []int, opts BatchOptions) ([]BatchResult, error) {
+	for _, r := range targets {
+		if err := e.checkVertex(r); err != nil {
+			return nil, err
+		}
+	}
+	e.batches.Add(1)
+	out := make([]BatchResult, len(targets))
+	if len(targets) == 0 {
+		return out, nil
+	}
+	// positions[r] lists every request index asking for target r; it is
+	// read-only once built.
+	positions := make(map[int][]int, len(targets))
+	distinct := make([]int, 0, len(targets))
+	for i, r := range targets {
+		if _, seen := positions[r]; !seen {
+			distinct = append(distinct, r)
+		}
+		positions[r] = append(positions[r], i)
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	errs := make([]error, len(distinct))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for di := range work {
+				r := distinct[di]
+				o := opts.Estimation
+				o.Seed = SeedFor(opts.Seed, r)
+				est, err := e.Estimate(r, o)
+				if err != nil {
+					errs[di] = err
+					continue
+				}
+				for _, i := range positions[r] {
+					out[i] = BatchResult{Target: r, Estimate: est}
+				}
+			}
+		}()
+	}
+	for di := range distinct {
+		work <- di
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"bcmh/internal/core"
+	"bcmh/internal/mcmc"
+)
+
+// resultKey identifies one completed estimate: the target vertex plus
+// the normalized options (which include the seed), so two requests that
+// differ only in defaulted-vs-explicit fields share an entry and two
+// requests with different seeds never collide.
+type resultKey struct {
+	vertex int
+	opts   core.Options
+}
+
+type lruEntry struct {
+	key resultKey
+	est core.Estimate
+}
+
+// lruCache is a fixed-capacity least-recently-used map of completed
+// estimates. A capacity <= 0 disables caching (every get misses, add is
+// a no-op). Safe for concurrent use.
+type lruCache struct {
+	mtx   sync.Mutex
+	cap   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[resultKey]*list.Element
+}
+
+func newLRUCache(capacity int) *lruCache {
+	c := &lruCache{cap: capacity}
+	if capacity > 0 {
+		c.order = list.New()
+		c.byKey = make(map[resultKey]*list.Element, capacity)
+	}
+	return c
+}
+
+// detach gives the estimate its own PerChain backing array, so cached
+// entries, the values handed to callers, and the values callers handed
+// in never alias: a caller sorting or editing est.PerChain must not
+// rewrite cache contents.
+func detach(est core.Estimate) core.Estimate {
+	if est.PerChain != nil {
+		est.PerChain = append([]mcmc.Result(nil), est.PerChain...)
+	}
+	return est
+}
+
+func (c *lruCache) get(key resultKey) (core.Estimate, bool) {
+	if c.cap <= 0 {
+		return core.Estimate{}, false
+	}
+	c.mtx.Lock()
+	defer c.mtx.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return core.Estimate{}, false
+	}
+	c.order.MoveToFront(el)
+	return detach(el.Value.(*lruEntry).est), true
+}
+
+func (c *lruCache) add(key resultKey, est core.Estimate) {
+	if c.cap <= 0 {
+		return
+	}
+	est = detach(est)
+	c.mtx.Lock()
+	defer c.mtx.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).est = est
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, est: est})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mtx.Lock()
+	defer c.mtx.Unlock()
+	return c.order.Len()
+}

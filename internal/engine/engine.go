@@ -1,0 +1,226 @@
+// Package engine is the batch estimation subsystem: one prepared graph
+// handle serving many concurrent betweenness-estimation requests with
+// shared per-graph state. Where core.EstimateBC re-derives everything
+// per call — connectivity validation, the O(nm) exact μ(r) used to plan
+// the chain length, and O(n) traversal buffers per chain — an Engine
+// pays each cost once:
+//
+//   - the graph is validated and prepared a single time in New;
+//   - μ(r) (and with it the exact BC(r)) is computed at most once per
+//     target vertex and reused by every subsequent request, with
+//     concurrent first requests deduplicated to one computation;
+//   - completed estimates are kept in a bounded LRU keyed by
+//     (vertex, normalized options), so repeated requests are served
+//     from cache (duplicates inside one batch are dispatched once);
+//   - chain traversal buffers are pooled, so concurrent chains stop
+//     re-allocating per run.
+//
+// Engine.Estimate serves one target; Engine.EstimateBatch fans a target
+// list over a bounded worker pool with per-target seeds derived
+// deterministically from one request seed, so batch results are
+// reproducible and independent of scheduling. Engine.Stats exposes the
+// cache and in-flight counters; server.go wraps it all in the HTTP/JSON
+// surface cmd/bcserve serves.
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bcmh/internal/core"
+	"bcmh/internal/graph"
+	"bcmh/internal/mcmc"
+)
+
+// DefaultCacheSize is the default capacity of the completed-estimate
+// LRU.
+const DefaultCacheSize = 1024
+
+// Config tunes engine construction.
+type Config struct {
+	// ResultCacheSize bounds the LRU of completed estimates. Zero means
+	// DefaultCacheSize; negative disables result caching entirely
+	// (μ caching and buffer pooling are always on).
+	ResultCacheSize int
+}
+
+// Engine owns the shared state for estimating betweenness on one
+// prepared graph. Safe for concurrent use.
+type Engine struct {
+	g       *graph.Graph
+	mapping []int
+
+	pool *mcmc.BufferPool
+
+	// μ-cache: one entry per requested target, computed once under the
+	// entry's sync.Once so concurrent first requests share the O(nm)
+	// MuExact evaluation.
+	muMtx sync.Mutex
+	mu    map[int]*muEntry
+
+	results *lruCache
+
+	muHits, muMisses         atomic.Uint64
+	resultHits, resultMisses atomic.Uint64
+	inFlight                 atomic.Int64
+	estimates                atomic.Uint64
+	batches                  atomic.Uint64
+}
+
+type muEntry struct {
+	once  sync.Once
+	stats mcmc.MuStats
+	err   error
+}
+
+// New prepares g for estimation (validating it and extracting the
+// largest connected component if necessary, via core.Prepare) and
+// returns an engine over the prepared graph with default configuration.
+func New(g *graph.Graph) (*Engine, error) {
+	return NewWithConfig(g, Config{})
+}
+
+// NewWithConfig is New with explicit engine configuration.
+func NewWithConfig(g *graph.Graph, cfg Config) (*Engine, error) {
+	prepared, mapping, err := core.Prepare(g)
+	if err != nil {
+		return nil, err
+	}
+	size := cfg.ResultCacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	return &Engine{
+		g:       prepared,
+		mapping: mapping,
+		pool:    mcmc.NewBufferPool(prepared),
+		mu:      make(map[int]*muEntry),
+		results: newLRUCache(size),
+	}, nil
+}
+
+// Graph returns the prepared graph the engine estimates on.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Mapping returns the prepared-vertex → original-vertex mapping from
+// core.Prepare, or nil when the input graph was usable as-is.
+func (e *Engine) Mapping() []int { return e.mapping }
+
+func (e *Engine) checkVertex(r int) error {
+	if r < 0 || r >= e.g.N() {
+		return fmt.Errorf("engine: vertex %d out of range [0,%d)", r, e.g.N())
+	}
+	return nil
+}
+
+// MuStats returns the exact concentration profile μ(r) (and with it the
+// exact BC(r)) of target r, computing it at most once per engine
+// lifetime. Concurrent first calls for the same target block on a
+// single computation; every later call is a cache hit.
+func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
+	if err := e.checkVertex(r); err != nil {
+		return mcmc.MuStats{}, err
+	}
+	e.muMtx.Lock()
+	ent, ok := e.mu[r]
+	if !ok {
+		ent = &muEntry{}
+		e.mu[r] = ent
+	}
+	e.muMtx.Unlock()
+	if ok {
+		e.muHits.Add(1)
+	} else {
+		e.muMisses.Add(1)
+	}
+	ent.once.Do(func() {
+		ent.stats, ent.err = mcmc.MuExact(e.g, r)
+	})
+	return ent.stats, ent.err
+}
+
+// ExactBCOf returns the exact betweenness of r, served from the μ-cache
+// (MuExact's dependency column yields BC(r) as a by-product), so
+// repeated exact queries for one vertex cost one O(nm) evaluation
+// total. This is the engine's /exact path.
+func (e *Engine) ExactBCOf(r int) (float64, error) {
+	ms, err := e.MuStats(r)
+	if err != nil {
+		return 0, err
+	}
+	return ms.BC, nil
+}
+
+// Estimate estimates the betweenness of vertex r under opts, sharing
+// the engine's μ-cache, result cache, and buffer pool. Results are
+// bit-identical to core.EstimateBC with the same options and seed.
+func (e *Engine) Estimate(r int, opts core.Options) (core.Estimate, error) {
+	if err := e.checkVertex(r); err != nil {
+		return core.Estimate{}, err
+	}
+	o := opts.Normalized()
+	key := resultKey{vertex: r, opts: o}
+	if est, ok := e.results.get(key); ok {
+		e.resultHits.Add(1)
+		return est, nil
+	}
+	e.resultMisses.Add(1)
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	mu := o.MuBound
+	if o.Steps <= 0 && mu <= 0 {
+		ms, err := e.MuStats(r)
+		if err != nil {
+			return core.Estimate{}, err
+		}
+		mu = ms.Mu
+	}
+	est, err := core.EstimateBCPrepared(e.g, r, o, mu, e.pool)
+	if err != nil {
+		return core.Estimate{}, err
+	}
+	e.estimates.Add(1)
+	e.results.add(key, est)
+	return est, nil
+}
+
+// Stats is a point-in-time snapshot of the engine's shared-state
+// counters (served by bcserve's GET /stats).
+type Stats struct {
+	// MuHits and MuMisses count μ-cache lookups; a miss is one O(nm)
+	// MuExact computation, a hit reuses (or waits on) a prior one.
+	MuHits   uint64 `json:"mu_hits"`
+	MuMisses uint64 `json:"mu_misses"`
+	// MuCached is the number of targets with a cached μ profile.
+	MuCached int `json:"mu_cached"`
+	// ResultHits and ResultMisses count completed-estimate LRU lookups.
+	ResultHits   uint64 `json:"result_hits"`
+	ResultMisses uint64 `json:"result_misses"`
+	// ResultCached is the number of estimates currently in the LRU.
+	ResultCached int `json:"result_cached"`
+	// InFlight is the number of estimations running right now.
+	InFlight int64 `json:"in_flight"`
+	// Estimates counts completed chain estimations (cache hits
+	// excluded); Batches counts EstimateBatch requests.
+	Estimates uint64 `json:"estimates"`
+	Batches   uint64 `json:"batches"`
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	e.muMtx.Lock()
+	muCached := len(e.mu)
+	e.muMtx.Unlock()
+	return Stats{
+		MuHits:       e.muHits.Load(),
+		MuMisses:     e.muMisses.Load(),
+		MuCached:     muCached,
+		ResultHits:   e.resultHits.Load(),
+		ResultMisses: e.resultMisses.Load(),
+		ResultCached: e.results.len(),
+		InFlight:     e.inFlight.Load(),
+		Estimates:    e.estimates.Load(),
+		Batches:      e.batches.Load(),
+	}
+}

@@ -1,0 +1,328 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"bcmh/internal/core"
+	"bcmh/internal/mcmc"
+)
+
+// EstimateRequest is the JSON body of POST /estimate. Vertex is an
+// input-file label when the server was built with labels (see
+// NewServerWithLabels), an engine vertex id otherwise. Zero-valued
+// fields take the core.Options defaults (epsilon 0.01, delta 0.1,
+// planned steps, one chain).
+type EstimateRequest struct {
+	Vertex    int64   `json:"vertex"`
+	Steps     int     `json:"steps,omitempty"`
+	Epsilon   float64 `json:"epsilon,omitempty"`
+	Delta     float64 `json:"delta,omitempty"`
+	MuBound   float64 `json:"mu_bound,omitempty"`
+	MaxSteps  int     `json:"max_steps,omitempty"`
+	Chains    int     `json:"chains,omitempty"`
+	Seed      uint64  `json:"seed,omitempty"`
+	Estimator string  `json:"estimator,omitempty"`
+}
+
+// EstimateResponse is the JSON reply of POST /estimate and each entry
+// of POST /estimate/batch.
+type EstimateResponse struct {
+	Vertex         int64   `json:"vertex"`
+	Value          float64 `json:"value"`
+	PlannedSteps   int     `json:"planned_steps"`
+	Chains         int     `json:"chains"`
+	MuUsed         float64 `json:"mu_used,omitempty"`
+	Seed           uint64  `json:"seed"`
+	AcceptanceRate float64 `json:"acceptance_rate"`
+	Evals          int     `json:"evals"`
+	CacheHits      int     `json:"cache_hits"`
+}
+
+// BatchRequest is the JSON body of POST /estimate/batch: one set of
+// estimation knobs applied to every target, a request seed the
+// per-target seeds derive from, and the worker-pool width.
+type BatchRequest struct {
+	Targets     []int64 `json:"targets"`
+	Seed        uint64  `json:"seed,omitempty"`
+	Concurrency int     `json:"concurrency,omitempty"`
+	Steps       int     `json:"steps,omitempty"`
+	Epsilon     float64 `json:"epsilon,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
+	MuBound     float64 `json:"mu_bound,omitempty"`
+	MaxSteps    int     `json:"max_steps,omitempty"`
+	Chains      int     `json:"chains,omitempty"`
+	Estimator   string  `json:"estimator,omitempty"`
+}
+
+// BatchResponse is the JSON reply of POST /estimate/batch; Results is
+// in request-target order.
+type BatchResponse struct {
+	Results   []EstimateResponse `json:"results"`
+	ElapsedMS float64            `json:"elapsed_ms"`
+}
+
+// ExactResponse is the JSON reply of GET /exact/{v}.
+type ExactResponse struct {
+	Vertex int64   `json:"vertex"`
+	BC     float64 `json:"bc"`
+}
+
+// StatsResponse is the JSON reply of GET /stats.
+type StatsResponse struct {
+	N int `json:"n"`
+	M int `json:"m"`
+	Stats
+}
+
+// Request guards: explicitly requested steps and chains reach the
+// chain loop unclamped (Options.MaxSteps only caps *planned* steps),
+// so the HTTP surface bounds them — otherwise one request with an
+// enormous budget pins a worker indefinitely.
+const (
+	// MaxRequestSteps caps the per-chain step budget one HTTP request
+	// may demand (matches the planner's own cap, core.DefaultMaxSteps).
+	MaxRequestSteps = core.DefaultMaxSteps
+	// MaxRequestChains caps parallel chains per request.
+	MaxRequestChains = 256
+	// MaxBatchTargets caps the target-list length of one batch request.
+	MaxBatchTargets = 4096
+)
+
+func checkRequestBudget(steps, maxSteps, chains int) error {
+	if steps > MaxRequestSteps {
+		return fmt.Errorf("steps %d exceeds the per-request limit %d", steps, MaxRequestSteps)
+	}
+	if maxSteps > MaxRequestSteps {
+		return fmt.Errorf("max_steps %d exceeds the per-request limit %d", maxSteps, MaxRequestSteps)
+	}
+	if chains > MaxRequestChains {
+		return fmt.Errorf("chains %d exceeds the per-request limit %d", chains, MaxRequestChains)
+	}
+	return nil
+}
+
+func parseEstimator(name string) (mcmc.EstimatorKind, error) {
+	switch name {
+	case "", mcmc.EstimatorChainAverage.String():
+		return mcmc.EstimatorChainAverage, nil
+	case mcmc.EstimatorPaperEq7.String():
+		return mcmc.EstimatorPaperEq7, nil
+	case mcmc.EstimatorProposalSide.String():
+		return mcmc.EstimatorProposalSide, nil
+	case mcmc.EstimatorHarmonic.String():
+		return mcmc.EstimatorHarmonic, nil
+	default:
+		return 0, fmt.Errorf("unknown estimator %q", name)
+	}
+}
+
+// NewServer returns the HTTP handler cmd/bcserve mounts over e:
+//
+//	POST /estimate        estimate one vertex (EstimateRequest)
+//	POST /estimate/batch  estimate a target list (BatchRequest)
+//	GET  /exact/{v}       exact betweenness of v (μ-cache by-product)
+//	GET  /stats           engine counters and graph size
+//
+// Request and response vertices are the prepared graph's ids, [0, n).
+func NewServer(e *Engine) http.Handler {
+	return NewServerWithLabels(e, nil)
+}
+
+// NewServerWithLabels is NewServer with requests addressed by original
+// input labels instead of engine vertex ids: labels[i] is the original
+// label of engine vertex i (the composition of edge-list compaction and
+// largest-component extraction). Responses report the same labels.
+// Edge-list readers compact labels in first-appearance order, so even a
+// file whose labels are already 0..n-1 usually ends up relabelled —
+// cmd/bcserve always serves labels so "vertex": 33 means the file's
+// vertex 33.
+func NewServerWithLabels(e *Engine, labels []int64) http.Handler {
+	s := &server{e: e, labelOf: labels}
+	if labels != nil {
+		s.byLabel = make(map[int64]int, len(labels))
+		for v, l := range labels {
+			s.byLabel[l] = v
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /estimate", s.handleEstimate)
+	mux.HandleFunc("POST /estimate/batch", s.handleBatch)
+	mux.HandleFunc("GET /exact/{v}", s.handleExact)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+type server struct {
+	e       *Engine
+	labelOf []int64       // engine vertex -> original label (nil: identity)
+	byLabel map[int64]int // original label -> engine vertex
+}
+
+// vertexOf resolves a request vertex (label or raw id) to an engine
+// vertex id.
+func (s *server) vertexOf(v int64) (int, error) {
+	if s.byLabel == nil {
+		return int(v), nil
+	}
+	id, ok := s.byLabel[v]
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown vertex label %d (dropped with a smaller component, or absent from the input)", v)
+	}
+	return id, nil
+}
+
+// labelFor is vertexOf's inverse, for responses.
+func (s *server) labelFor(v int) int64 {
+	if s.labelOf == nil {
+		return int64(v)
+	}
+	return s.labelOf[v]
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func toResponse(label int64, seed uint64, est core.Estimate) EstimateResponse {
+	return EstimateResponse{
+		Vertex:         label,
+		Value:          est.Value,
+		PlannedSteps:   est.PlannedSteps,
+		Chains:         est.Chains,
+		MuUsed:         est.MuUsed,
+		Seed:           seed,
+		AcceptanceRate: est.Diagnostics.AcceptanceRate,
+		Evals:          est.Diagnostics.Evals,
+		CacheHits:      est.Diagnostics.CacheHits,
+	}
+}
+
+func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		return
+	}
+	kind, err := parseEstimator(req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkRequestBudget(req.Steps, req.MaxSteps, req.Chains); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	vertex, err := s.vertexOf(req.Vertex)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.Options{
+		Steps:     req.Steps,
+		Epsilon:   req.Epsilon,
+		Delta:     req.Delta,
+		MuBound:   req.MuBound,
+		MaxSteps:  req.MaxSteps,
+		Chains:    req.Chains,
+		Seed:      req.Seed,
+		Estimator: kind,
+	}
+	est, err := s.e.Estimate(vertex, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, toResponse(req.Vertex, req.Seed, est))
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		return
+	}
+	kind, err := parseEstimator(req.Estimator)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := checkRequestBudget(req.Steps, req.MaxSteps, req.Chains); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Targets) > MaxBatchTargets {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d targets exceeds the limit %d", len(req.Targets), MaxBatchTargets))
+		return
+	}
+	targets := make([]int, len(req.Targets))
+	for i, label := range req.Targets {
+		if targets[i], err = s.vertexOf(label); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	opts := BatchOptions{
+		Estimation: core.Options{
+			Steps:     req.Steps,
+			Epsilon:   req.Epsilon,
+			Delta:     req.Delta,
+			MuBound:   req.MuBound,
+			MaxSteps:  req.MaxSteps,
+			Chains:    req.Chains,
+			Estimator: kind,
+		},
+		Seed:        req.Seed,
+		Concurrency: req.Concurrency,
+	}
+	start := time.Now()
+	results, err := s.e.EstimateBatch(targets, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := BatchResponse{
+		Results:   make([]EstimateResponse, len(results)),
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, br := range results {
+		resp.Results[i] = toResponse(s.labelFor(br.Target), SeedFor(req.Seed, br.Target), br.Estimate)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleExact(w http.ResponseWriter, r *http.Request) {
+	label, err := strconv.ParseInt(r.PathValue("v"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q", r.PathValue("v")))
+		return
+	}
+	v, err := s.vertexOf(label)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	bc, err := s.e.ExactBCOf(v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExactResponse{Vertex: label, BC: bc})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		N:     s.e.Graph().N(),
+		M:     s.e.Graph().M(),
+		Stats: s.e.Stats(),
+	})
+}

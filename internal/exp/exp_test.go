@@ -148,6 +148,9 @@ func TestRunT1(t *testing.T) {
 }
 
 func TestRunT4TheoremTwoShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("T4 runner (~5s, minutes under -race) skipped in -short mode")
+	}
 	var sb strings.Builder
 	if err := RunT4(&sb, Quick, 1); err != nil {
 		t.Fatal(err)

@@ -56,6 +56,26 @@ func NewOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
 	return o, nil
 }
 
+// newOracleBuffered wires an Oracle around recycled chain buffers
+// instead of fresh allocations. The memo map may hold entries from a
+// previous target and is cleared before use.
+func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers) (*Oracle, error) {
+	if target < 0 || target >= g.N() {
+		return nil, fmt.Errorf("mcmc: oracle target %d out of range", target)
+	}
+	o := &Oracle{
+		g:      g,
+		c:      b.c,
+		delta:  b.delta,
+		target: target,
+	}
+	if useCache {
+		clear(b.memo)
+		o.cache = b.memo
+	}
+	return o, nil
+}
+
 // Dep returns δ_v•(target).
 func (o *Oracle) Dep(v int) float64 {
 	if o.cache != nil {

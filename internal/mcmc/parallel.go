@@ -32,6 +32,14 @@ type MultiResult struct {
 // Deterministic given (seed, chains, cfg): chain i always consumes the
 // stream seed.Split("chain-i").
 func EstimateBCParallel(g *graph.Graph, r int, cfg Config, seed uint64, chains int) (MultiResult, error) {
+	return EstimateBCParallelPooled(g, r, cfg, seed, chains, nil)
+}
+
+// EstimateBCParallelPooled is EstimateBCParallel with per-chain
+// traversal buffers drawn from pool (nil allocates per chain). The
+// estimates are bit-identical to the unpooled variant: buffer reuse
+// changes where scratch memory lives, never what the chain computes.
+func EstimateBCParallelPooled(g *graph.Graph, r int, cfg Config, seed uint64, chains int, pool *BufferPool) (MultiResult, error) {
 	if chains <= 0 {
 		return MultiResult{}, fmt.Errorf("mcmc: chains must be positive, got %d", chains)
 	}
@@ -55,7 +63,15 @@ func EstimateBCParallel(g *graph.Graph, r int, cfg Config, seed uint64, chains i
 			// Each chain gets its own oracle: sssp computers are not
 			// concurrency-safe, and separate caches keep work accounting
 			// honest.
-			oracle, err := NewOracle(g, r, !cfg.DisableCache)
+			var oracle *Oracle
+			var err error
+			if pool != nil {
+				b := pool.get()
+				defer pool.put(b)
+				oracle, err = newOracleBuffered(g, r, !cfg.DisableCache, b)
+			} else {
+				oracle, err = NewOracle(g, r, !cfg.DisableCache)
+			}
 			if err != nil {
 				errs[i] = err
 				return

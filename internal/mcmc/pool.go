@@ -1,0 +1,47 @@
+package mcmc
+
+import (
+	"sync"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/sssp"
+)
+
+// chainBuffers is one chain's worth of reusable traversal state: the
+// sssp computer (BFS/Dijkstra buffers), the Brandes accumulation
+// scratch, and the memo map the Oracle fills. The computer and scratch
+// are target-independent; only the memo's contents are per-target, so
+// they are cleared on reuse.
+type chainBuffers struct {
+	c     *sssp.Computer
+	delta []float64
+	memo  map[int]float64
+}
+
+// BufferPool recycles chain buffers across estimation calls on one
+// graph. A chain run allocates O(n) state up front (computer, scratch,
+// memo); under concurrent batch traffic that is the dominant allocation
+// source, and the pool bounds it at one buffer set per simultaneously
+// running chain. Safe for concurrent use; every buffer set it hands out
+// is private to one chain until returned.
+type BufferPool struct {
+	g    *graph.Graph
+	pool sync.Pool
+}
+
+// NewBufferPool returns a pool of chain buffers for g. Buffers are
+// sized to g at creation; do not share a pool across graphs.
+func NewBufferPool(g *graph.Graph) *BufferPool {
+	p := &BufferPool{g: g}
+	p.pool.New = func() any {
+		return &chainBuffers{
+			c:     sssp.NewComputer(g),
+			delta: make([]float64, g.N()),
+			memo:  make(map[int]float64),
+		}
+	}
+	return p
+}
+
+func (p *BufferPool) get() *chainBuffers  { return p.pool.Get().(*chainBuffers) }
+func (p *BufferPool) put(b *chainBuffers) { p.pool.Put(b) }

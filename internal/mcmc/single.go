@@ -157,6 +157,14 @@ func (c *Config) validate(n int) error {
 // distribution is P_r[v] ∝ δ_v•(r) (Eq. 5, the optimal sampling
 // distribution of [13]).
 func EstimateBC(g *graph.Graph, r int, cfg Config, rnd *rng.RNG) (Result, error) {
+	return EstimateBCPooled(g, r, cfg, rnd, nil)
+}
+
+// EstimateBCPooled is EstimateBC drawing the chain's traversal buffers
+// from pool instead of allocating fresh ones — the entry point batch
+// front-ends (internal/engine) use so concurrent chains stop paying
+// O(n) allocations per run. A nil pool allocates as EstimateBC does.
+func EstimateBCPooled(g *graph.Graph, r int, cfg Config, rnd *rng.RNG, pool *BufferPool) (Result, error) {
 	n := g.N()
 	if n < 2 {
 		return Result{}, fmt.Errorf("mcmc: graph too small (n=%d)", n)
@@ -164,7 +172,15 @@ func EstimateBC(g *graph.Graph, r int, cfg Config, rnd *rng.RNG) (Result, error)
 	if err := cfg.validate(n); err != nil {
 		return Result{}, err
 	}
-	oracle, err := NewOracle(g, r, !cfg.DisableCache)
+	var oracle *Oracle
+	var err error
+	if pool != nil {
+		b := pool.get()
+		defer pool.put(b)
+		oracle, err = newOracleBuffered(g, r, !cfg.DisableCache, b)
+	} else {
+		oracle, err = NewOracle(g, r, !cfg.DisableCache)
+	}
 	if err != nil {
 		return Result{}, err
 	}

@@ -310,6 +310,9 @@ func TestBurnInReducesCountedStates(t *testing.T) {
 func TestDegreeProposalSameLimit(t *testing.T) {
 	// Hastings-corrected degree proposal must preserve the stationary
 	// distribution: chain average converges to the same limit.
+	if testing.Short() {
+		t.Skip("long-chain stationarity check (~1s, 5s under -race) skipped in -short mode")
+	}
 	g := graph.BarabasiAlbert(200, 3, rng.New(43))
 	limit, _ := chainLimitFor(g, 0)
 	cfg := DefaultConfig(30000)
