@@ -23,6 +23,18 @@
 //   - internal/exp — the table/figure reproduction harness
 //     (see DESIGN.md and EXPERIMENTS.md).
 //
+// # Dependency-oracle fast path
+//
+// The samplers' hot path — one δ_v•(r) evaluation per MH step — is
+// served by one of two routes, selected automatically: unweighted
+// undirected graphs use the identity-based fast oracle (a cached
+// target-side SPD plus one specialized epoch-reset BFS and an O(n)
+// scan per evaluation; sssp.BFS + brandes.DependencyOnTargetIdentity),
+// while weighted or directed graphs keep the reference Brandes
+// accumulation (brandes.DependencyOnTarget). See README.md for the
+// selection rules, equivalence guarantees, and measured speedups, and
+// scripts/bench.sh for the benchmark-tracking workflow.
+//
 // Executables are under cmd/ (bcmh, bcserve, bcbench, bcexact, bcgen)
 // and runnable examples under examples/. bench_test.go in this
 // directory carries one testing.B benchmark per reproduced

@@ -163,11 +163,17 @@ func DependencyVector(g *graph.Graph, r int) []float64 {
 }
 
 // DependencyVectorParallel is DependencyVector with sources fanned out
-// over `workers` goroutines (0 = GOMAXPROCS).
+// over `workers` goroutines (0 = GOMAXPROCS). Unweighted undirected
+// graphs take the identity fast path (one shared target-side BFS, then
+// a forward BFS plus O(n) scan per source — see identity.go); weighted
+// or directed graphs run the reference Brandes accumulation per source.
 func DependencyVectorParallel(g *graph.Graph, r int, workers int) []float64 {
 	n := g.N()
 	if r < 0 || r >= n {
 		panic("brandes: DependencyVector target out of range")
+	}
+	if !g.Weighted() && !g.Directed() {
+		return dependencyVectorIdentity(g, r, workers)
 	}
 	out := make([]float64, n)
 	if workers <= 0 {

@@ -453,3 +453,18 @@ func BenchmarkDependencyOnTarget(b *testing.B) {
 		DependencyOnTarget(c, scratch, i%g.N(), 0)
 	}
 }
+
+// BenchmarkDependencyOnTargetIdentity is the fast-oracle counterpart of
+// BenchmarkDependencyOnTarget: same workload, identity route (one
+// specialized BFS + O(n) scan against a prebuilt target snapshot).
+func BenchmarkDependencyOnTargetIdentity(b *testing.B) {
+	g := graph.BarabasiAlbert(5000, 3, rng.New(1))
+	vb := sssp.NewBFS(g)
+	ts := sssp.NewTargetSPD(vb, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := i % g.N()
+		vb.Run(v)
+		DependencyOnTargetIdentity(vb, ts, v)
+	}
+}

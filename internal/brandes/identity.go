@@ -1,0 +1,104 @@
+package brandes
+
+import (
+	"runtime"
+	"sync"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/sssp"
+)
+
+// Identity-based dependency evaluation — the fast oracle behind the MH
+// hot path. For an unweighted undirected graph and a fixed target r,
+// the pair-dependency identity
+//
+//	δ_v•(r) = Σ_{t ≠ v,r} [d(v,r)+d(r,t) = d(v,t)] · σ_vr·σ_rt / σ_vt
+//
+// turns one dependency query into a single forward BFS from v plus an
+// O(n) scan against the shortest-path data rooted at r — no Brandes
+// backward accumulation, no per-edge shortest-path-membership checks.
+// Since r is fixed for an entire MH chain, its side of the identity
+// (sssp.TargetSPD) is computed once and read on every step.
+//
+// DependencyOnTarget in brandes.go remains the reference evaluator: it
+// is the route weighted and directed graphs take, and the baseline the
+// equivalence tests (internal/mcmc) hold the identity path to.
+
+// DependencyOnTargetIdentity returns δ_v•(ts.Target) evaluated via the
+// pair-dependency identity. vb must already hold the traversal from v
+// (vb.Run(v) was the last run); ts is the cached target-side snapshot.
+// The graph must be undirected and unweighted — the identity reads
+// σ_vr and d(v,r) from v's traversal, which equal σ_rv and d(r,v) only
+// under symmetry. Callers (internal/mcmc's oracle selection) enforce
+// this; the function itself only assumes it.
+func DependencyOnTargetIdentity(vb *sssp.BFS, ts *sssp.TargetSPD, v int) float64 {
+	r := ts.Target
+	if v == r || !vb.Reached(r) {
+		// δ_r•(r) = 0 by definition; an unreachable target lies on no
+		// path from v at all.
+		return 0
+	}
+	dvr := vb.DistOf(r)
+	svr := vb.SigmaOf(r)
+	var sum float64
+	// Sequential scan over all t: every array is read in index order
+	// (the prefetcher's best case), with unreached t filtered by their
+	// stale epoch tag. t == v never passes the distance test (dvr ≥ 1,
+	// drt ≥ 0 versus dist(v,v) = 0); t == r always passes it (drt = 0)
+	// and is excluded explicitly.
+	for t, drt := range ts.Dist {
+		if drt >= 0 && vb.Reached(t) && dvr+drt == vb.DistOf(t) && t != r {
+			sum += svr * ts.Sigma[t] / vb.SigmaOf(t)
+		}
+	}
+	return sum
+}
+
+// DependencyColumnIdentity fills out[v] = δ_v•(ts.Target) for every
+// vertex, running one BFS per source on vb. It is the identity-path
+// equivalent of n DependencyOnTarget calls sharing one target snapshot
+// — the kernel DependencyVectorParallel uses on unweighted undirected
+// graphs.
+func DependencyColumnIdentity(vb *sssp.BFS, ts *sssp.TargetSPD, out []float64, from, to, stride int) {
+	for v := from; v < to; v += stride {
+		vb.Run(v)
+		out[v] = DependencyOnTargetIdentity(vb, ts, v)
+	}
+}
+
+// dependencyVectorIdentity is DependencyVectorParallel's fast route:
+// one target-side BFS, then n source BFS traversals with O(n) scans,
+// fanned over workers.
+func dependencyVectorIdentity(g *graph.Graph, r int, workers int) []float64 {
+	return DependencyVectorWithTarget(g, sssp.NewTargetSPD(sssp.NewBFS(g), r), workers)
+}
+
+// DependencyVectorWithTarget is the identity-route dependency column
+// for a prebuilt target-side snapshot: callers that already hold ts —
+// the per-target cache inside mcmc.BufferPool — skip even the one
+// target-side BFS. g must be the unweighted undirected graph ts was
+// built on; workers as in DependencyVectorParallel.
+func DependencyVectorWithTarget(g *graph.Graph, ts *sssp.TargetSPD, workers int) []float64 {
+	n := g.N()
+	out := make([]float64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		DependencyColumnIdentity(sssp.NewBFS(g), ts, out, 0, n, 1)
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			DependencyColumnIdentity(sssp.NewBFS(g), ts, out, w, n, workers) // disjoint writes
+		}(w)
+	}
+	wg.Wait()
+	return out
+}

@@ -13,7 +13,12 @@
 //     (vertex, normalized options), so repeated requests are served
 //     from cache (duplicates inside one batch are dispatched once);
 //   - chain traversal buffers are pooled, so concurrent chains stop
-//     re-allocating per run.
+//     re-allocating per run;
+//   - the target-side shortest-path snapshot the fast dependency
+//     oracle reads (see internal/mcmc's oracle routes) is cached in
+//     the pool per target, so the μ computation and every chain —
+//     batch requests for the same vertex included — share one
+//     target-side BFS.
 //
 // Engine.Estimate serves one target; Engine.EstimateBatch fans a target
 // list over a bounded worker pool with per-target seeds derived
@@ -135,7 +140,10 @@ func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
 		e.muMisses.Add(1)
 	}
 	ent.once.Do(func() {
-		ent.stats, ent.err = mcmc.MuExact(e.g, r)
+		// Pooled: the target-side BFS snapshot this derives the column
+		// from is cached in the buffer pool, where the same target's
+		// chain oracles will find it (and vice versa).
+		ent.stats, ent.err = mcmc.MuExactPooled(e.g, r, e.pool)
 	})
 	return ent.stats, ent.err
 }

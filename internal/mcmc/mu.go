@@ -66,8 +66,23 @@ func MuFromDeps(deps []float64) MuStats {
 // MuExact computes MuStats for vertex r by exact O(nm) dependency
 // evaluation — ground truth for experiments T3/T4/T10.
 func MuExact(g *graph.Graph, r int) (MuStats, error) {
+	return MuExactPooled(g, r, nil)
+}
+
+// MuExactPooled is MuExact sharing pool's per-target shortest-path
+// snapshot cache: the target-side BFS the dependency column needs is
+// the same one the chains' fast oracle reads, so a μ computation warms
+// the cache for every subsequent estimation of the same vertex (and
+// vice versa). A nil pool — or a graph on the Brandes route — computes
+// standalone.
+func MuExactPooled(g *graph.Graph, r int, pool *BufferPool) (MuStats, error) {
 	if r < 0 || r >= g.N() {
 		return MuStats{}, fmt.Errorf("mcmc: MuExact target %d out of range", r)
+	}
+	if pool != nil {
+		if ts := pool.targetSPD(r); ts != nil {
+			return MuFromDeps(brandes.DependencyVectorWithTarget(g, ts, 0)), nil
+		}
 	}
 	return MuFromDeps(brandes.DependencyVector(g, r)), nil
 }

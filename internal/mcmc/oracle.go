@@ -22,72 +22,131 @@ import (
 	"bcmh/internal/sssp"
 )
 
-// Oracle evaluates δ_v•(target) — one Brandes traversal per distinct v —
-// with optional memoisation. MH chains revisit states whenever a
-// proposal is rejected, so the cache converts the dominant cost from
-// O(steps · m) to O(unique-states · m).
+// fastOracleGraph reports whether g qualifies for the identity-based
+// fast dependency oracle: unweighted (hop-count distances are exact
+// integers) and undirected (the identity reads σ_vr and d(v,r) from
+// v's own traversal, which needs symmetry). Everything else — the
+// paper's setting included among the fast graphs, weighted/directed
+// inputs excluded — routes through the reference Brandes evaluator.
+func fastOracleGraph(g *graph.Graph) bool {
+	return !g.Weighted() && !g.Directed()
+}
+
+// Oracle evaluates δ_v•(target) with optional memoisation. MH chains
+// revisit states whenever a proposal is rejected, so the memo converts
+// the dominant cost from O(steps) to O(unique-states) evaluations.
+//
+// Two evaluation routes sit behind the same interface, selected by the
+// graph (see fastOracleGraph):
+//
+//   - identity route (unweighted undirected): the target-side shortest
+//     path snapshot is computed once per oracle — or shared through the
+//     BufferPool's per-target cache — and each evaluation is one
+//     specialized forward BFS from v plus an O(n) scan, via
+//     brandes.DependencyOnTargetIdentity. No Brandes backward pass.
+//   - Brandes route (weighted or directed): each evaluation is a full
+//     traversal plus backward accumulation, via the reference
+//     brandes.DependencyOnTarget.
+//
+// The memo is a dense epoch-stamped array, not a map: at chain lengths
+// in the thousands, map hashing on every step is measurable.
 type Oracle struct {
 	g      *graph.Graph
-	c      *sssp.Computer
-	delta  []float64
 	target int
-	cache  map[int]float64
-	// Evals counts traversals performed (cache misses); Hits counts
-	// cache hits. Work accounting for experiments T7/T8d.
+
+	// Brandes route state.
+	c     *sssp.Computer
+	delta []float64
+	// Identity route state.
+	bfs  *sssp.BFS
+	tspd *sssp.TargetSPD
+
+	// Dense memo: memoVal[v] is valid iff memoStamp[v] == memoEpoch.
+	// A nil memoStamp disables memoisation (ablation T8d).
+	memoVal   []float64
+	memoStamp []uint32
+	memoEpoch uint32
+
+	// Evals counts dependency evaluations performed (memo misses); Hits
+	// counts memo hits. Work accounting for experiments T7/T8d.
 	Evals int
 	Hits  int
 }
 
-// NewOracle returns an oracle for δ_·•(target) on g. When useCache is
-// false every Dep call performs a traversal (ablation T8d).
+// NewOracle returns an oracle for δ_·•(target) on g, auto-selecting the
+// evaluation route. When useCache is false every Dep call performs a
+// full evaluation (ablation T8d).
 func NewOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
+	return newOracleBuffered(g, target, useCache, newChainBuffers(g), nil)
+}
+
+// newOracleBuffered wires an Oracle around recycled chain buffers. The
+// buffers may have served a previous target; bumping the memo epoch
+// invalidates every stale entry in O(1). A non-nil tspd supplies the
+// target-side snapshot (from the BufferPool's shared cache); nil makes
+// the oracle compute its own on the identity route.
+func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers, tspd *sssp.TargetSPD) (*Oracle, error) {
 	if target < 0 || target >= g.N() {
 		return nil, fmt.Errorf("mcmc: oracle target %d out of range", target)
 	}
 	o := &Oracle{
 		g:      g,
-		c:      sssp.NewComputer(g),
-		delta:  make([]float64, g.N()),
 		target: target,
+		c:      b.c,
+		delta:  b.delta,
+		bfs:    b.bfs,
+	}
+	if o.bfs != nil {
+		if tspd == nil || tspd.Target != target {
+			tspd = sssp.NewTargetSPD(o.bfs, target)
+		}
+		o.tspd = tspd
 	}
 	if useCache {
-		o.cache = make(map[int]float64)
+		o.memoVal = b.memoVal
+		o.memoStamp = b.memoStamp
+		o.memoEpoch = b.nextMemoEpoch()
 	}
 	return o, nil
 }
 
-// newOracleBuffered wires an Oracle around recycled chain buffers
-// instead of fresh allocations. The memo map may hold entries from a
-// previous target and is cleared before use.
-func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers) (*Oracle, error) {
+// newReferenceOracle forces the Brandes route regardless of graph kind —
+// the baseline the equivalence tests hold the identity route to.
+func newReferenceOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
 	if target < 0 || target >= g.N() {
 		return nil, fmt.Errorf("mcmc: oracle target %d out of range", target)
 	}
 	o := &Oracle{
 		g:      g,
-		c:      b.c,
-		delta:  b.delta,
 		target: target,
+		c:      sssp.NewComputer(g),
+		delta:  make([]float64, g.N()),
 	}
 	if useCache {
-		clear(b.memo)
-		o.cache = b.memo
+		o.memoVal = make([]float64, g.N())
+		o.memoStamp = make([]uint32, g.N())
+		o.memoEpoch = 1
 	}
 	return o, nil
 }
 
 // Dep returns δ_v•(target).
 func (o *Oracle) Dep(v int) float64 {
-	if o.cache != nil {
-		if d, ok := o.cache[v]; ok {
-			o.Hits++
-			return d
-		}
+	if o.memoStamp != nil && o.memoStamp[v] == o.memoEpoch {
+		o.Hits++
+		return o.memoVal[v]
 	}
 	o.Evals++
-	d := brandes.DependencyOnTarget(o.c, o.delta, v, o.target)
-	if o.cache != nil {
-		o.cache[v] = d
+	var d float64
+	if o.bfs != nil {
+		o.bfs.Run(v)
+		d = brandes.DependencyOnTargetIdentity(o.bfs, o.tspd, v)
+	} else {
+		d = brandes.DependencyOnTarget(o.c, o.delta, v, o.target)
+	}
+	if o.memoStamp != nil {
+		o.memoStamp[v] = o.memoEpoch
+		o.memoVal[v] = d
 	}
 	return d
 }
@@ -95,18 +154,32 @@ func (o *Oracle) Dep(v int) float64 {
 // Target returns the oracle's target vertex.
 func (o *Oracle) Target() int { return o.target }
 
-// SetOracle evaluates the vector (δ_v•(r))_{r ∈ R} for a fixed set R —
-// a single traversal from v yields δ_v•(x) for every x, so the whole
-// R-vector costs the same O(m) as a single entry. This is what makes
-// the joint-space sampler's per-step cost independent of |R|.
+// SetOracle evaluates the vector (δ_v•(r))_{r ∈ R} for a fixed set R.
+// On the Brandes route a single traversal from v yields δ_v•(x) for
+// every x, so the whole R-vector costs the same O(m) as a single entry;
+// on the identity route one specialized BFS from v feeds |R| O(n)
+// scans against the per-target snapshots (one cached SPD per target in
+// R, computed once at construction). Either way the joint-space
+// sampler's per-step cost stays effectively independent of |R|.
 type SetOracle struct {
 	g       *graph.Graph
-	c       *sssp.Computer
-	delta   []float64
 	targets []int
-	cache   map[int][]float64
-	Evals   int
-	Hits    int
+
+	// Brandes route state.
+	c     *sssp.Computer
+	delta []float64
+	// Identity route state: one snapshot per target in R.
+	bfs   *sssp.BFS
+	tspds []*sssp.TargetSPD
+
+	// Dense memo, flattened row-major: row v is
+	// memoVal[v*len(targets) : (v+1)*len(targets)], valid iff
+	// memoStamp[v] != 0. Nil memoStamp disables memoisation.
+	memoVal   []float64
+	memoStamp []uint32
+
+	Evals int
+	Hits  int
 }
 
 // NewSetOracle returns an oracle for the target set R (which must be
@@ -127,36 +200,57 @@ func NewSetOracle(g *graph.Graph, targets []int, useCache bool) (*SetOracle, err
 	}
 	o := &SetOracle{
 		g:       g,
-		c:       sssp.NewComputer(g),
-		delta:   make([]float64, g.N()),
 		targets: append([]int(nil), targets...),
 	}
+	if fastOracleGraph(g) {
+		o.bfs = sssp.NewBFS(g)
+		o.tspds = make([]*sssp.TargetSPD, len(o.targets))
+		for i, r := range o.targets {
+			o.tspds[i] = sssp.NewTargetSPD(o.bfs, r)
+		}
+	} else {
+		o.c = sssp.NewComputer(g)
+		o.delta = make([]float64, g.N())
+	}
 	if useCache {
-		o.cache = make(map[int][]float64)
+		o.memoVal = make([]float64, g.N()*len(o.targets))
+		o.memoStamp = make([]uint32, g.N())
 	}
 	return o, nil
 }
 
 // Deps returns the dependency vector of source v on every target,
 // indexed as the targets slice passed to NewSetOracle. The returned
-// slice is owned by the cache when caching is on; callers must not
-// modify it.
+// slice is owned by the memo when caching is on; callers must not
+// modify it (each source has its own row, so slices returned for
+// different sources stay valid across calls).
 func (o *SetOracle) Deps(v int) []float64 {
-	if o.cache != nil {
-		if d, ok := o.cache[v]; ok {
-			o.Hits++
-			return d
-		}
+	k := len(o.targets)
+	if o.memoStamp != nil && o.memoStamp[v] != 0 {
+		o.Hits++
+		return o.memoVal[v*k : (v+1)*k : (v+1)*k]
 	}
 	o.Evals++
-	spd := o.c.Run(v)
-	brandes.Accumulate(o.g, spd, o.delta)
-	out := make([]float64, len(o.targets))
-	for i, r := range o.targets {
-		out[i] = o.delta[r]
+	var out []float64
+	if o.memoStamp != nil {
+		out = o.memoVal[v*k : (v+1)*k : (v+1)*k]
+	} else {
+		out = make([]float64, k)
 	}
-	if o.cache != nil {
-		o.cache[v] = out
+	if o.bfs != nil {
+		o.bfs.Run(v)
+		for i, ts := range o.tspds {
+			out[i] = brandes.DependencyOnTargetIdentity(o.bfs, ts, v)
+		}
+	} else {
+		spd := o.c.Run(v)
+		brandes.Accumulate(o.g, spd, o.delta)
+		for i, r := range o.targets {
+			out[i] = o.delta[r]
+		}
+	}
+	if o.memoStamp != nil {
+		o.memoStamp[v] = 1
 	}
 	return out
 }

@@ -1,0 +1,303 @@
+package mcmc
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+	"bcmh/internal/sssp"
+)
+
+// equivGraphs spans the structural regimes the fast oracle must match
+// the Brandes reference on: scale-free, homogeneous random (largest
+// component), high-diameter grid, the degenerate star, and karate.
+func equivGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	er := graph.ErdosRenyiGNP(90, 0.06, rng.New(41))
+	lc, _, err := graph.LargestComponent(er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"ba":     graph.BarabasiAlbert(150, 3, rng.New(40)),
+		"er":     lc,
+		"grid":   graph.Grid(9, 10),
+		"star":   graph.Star(40),
+		"karate": graph.KarateClub(),
+	}
+}
+
+// TestFastOracleMatchesReference checks δ_v•(r) from the identity fast
+// path against brandes.DependencyOnTarget for every vertex v, over
+// several targets per graph, within 1e-9 relative tolerance (the two
+// routes sum the same terms in different orders).
+func TestFastOracleMatchesReference(t *testing.T) {
+	for name, g := range equivGraphs(t) {
+		if !fastOracleGraph(g) {
+			t.Fatalf("%s: test graph should take the fast route", name)
+		}
+		n := g.N()
+		c := sssp.NewComputer(g)
+		scratch := make([]float64, n)
+		targets := []int{0, 1, n / 2, n - 1}
+		for _, r := range targets {
+			fast, err := NewOracle(g, r, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.bfs == nil {
+				t.Fatalf("%s: oracle took the Brandes route", name)
+			}
+			for v := 0; v < n; v++ {
+				got := fast.Dep(v)
+				want := brandes.DependencyOnTarget(c, scratch, v, r)
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%s target %d: δ_%d = %v fast vs %v reference", name, r, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFastOracleMatchesDependencyVector cross-checks the column used by
+// MuExact (DependencyVectorParallel's identity route) against per-vertex
+// reference evaluations.
+func TestFastOracleMatchesDependencyVector(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 2, rng.New(43))
+	c := sssp.NewComputer(g)
+	scratch := make([]float64, g.N())
+	for _, r := range []int{0, 7, 119} {
+		col := brandes.DependencyVector(g, r)
+		for v := 0; v < g.N(); v++ {
+			want := brandes.DependencyOnTarget(c, scratch, v, r)
+			if math.Abs(col[v]-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("target %d: column[%d] = %v want %v", r, v, col[v], want)
+			}
+		}
+	}
+}
+
+// TestSetOracleFastMatchesReference checks the joint-space oracle's
+// identity route against the Brandes accumulation route.
+func TestSetOracleFastMatchesReference(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, rng.New(47))
+	R := []int{0, 3, 17, 50, 99}
+	fast, err := NewSetOracle(g, R, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.bfs == nil {
+		t.Fatal("set oracle took the Brandes route")
+	}
+	c := sssp.NewComputer(g)
+	delta := make([]float64, g.N())
+	for v := 0; v < g.N(); v++ {
+		got := fast.Deps(v)
+		spd := c.Run(v)
+		brandes.Accumulate(g, spd, delta)
+		for i, r := range R {
+			if math.Abs(got[i]-delta[r]) > 1e-9*(1+math.Abs(delta[r])) {
+				t.Fatalf("v=%d target %d: %v fast vs %v reference", v, r, got[i], delta[r])
+			}
+		}
+	}
+}
+
+// TestWeightedAndDirectedRouteThroughBrandes pins the selection rule:
+// only unweighted undirected graphs take the identity route.
+func TestWeightedAndDirectedRouteThroughBrandes(t *testing.T) {
+	w := graph.WithUniformWeights(graph.KarateClub(), 1, 9, rng.New(51))
+	o, err := NewOracle(w, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.bfs != nil || o.c == nil {
+		t.Fatal("weighted graph must take the Brandes route")
+	}
+	b := graph.NewDirectedBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	dg, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := NewOracle(dg, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if od.bfs != nil {
+		t.Fatal("directed graph must take the Brandes route")
+	}
+	so, err := NewSetOracle(w, []int{0, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if so.bfs != nil {
+		t.Fatal("weighted set oracle must take the Brandes route")
+	}
+}
+
+// TestChainBitIdenticalWhereExact: on graphs whose dependency values
+// both routes compute exactly (integer-valued sums — star and path),
+// the full chain Result must be bit-identical between the fast oracle
+// and the forced-Brandes reference, RNG stream and all.
+func TestChainBitIdenticalWhereExact(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		r    int
+	}{
+		// Trees: shortest paths are unique, so every dependency is a sum
+		// of ones — exact in any summation order. (Graphs with σ > 1,
+		// karate or a grid, differ between the routes in the last ulp;
+		// they belong to the 1e-9 tolerance test above.)
+		{"star-center", graph.Star(60), 0},
+		{"path-mid", graph.Path(50), 25},
+		{"tree-internal", graph.KaryTree(40, 3), 1},
+	}
+	for _, tc := range cases {
+		n := tc.g.N()
+		fast, err := NewOracle(tc.g, tc.r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := newReferenceOracle(tc.g, tc.r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Precondition: both routes agree bit-for-bit on this graph —
+		// otherwise the case can't promise chain identity and must be
+		// dropped rather than silently weakened.
+		for v := 0; v < n; v++ {
+			if fast.Dep(v) != ref.Dep(v) {
+				t.Fatalf("%s: routes differ at δ_%d: %v vs %v — case no longer exact",
+					tc.name, v, fast.Dep(v), ref.Dep(v))
+			}
+		}
+		cfg := DefaultConfig(600)
+		cfg.TraceEvery = 100
+		runWith := func(o *Oracle) Result {
+			b := newChainBuffers(tc.g)
+			res := runSingleChain(tc.g, o, cfg, rng.New(97), b, nil)
+			res.Evals = o.Evals
+			res.CacheHits = o.Hits
+			return res
+		}
+		fastRes := runWith(fast)
+		refRes := runWith(ref)
+		// Oracles were warmed identically above, so even the work
+		// counters must agree.
+		if !reflect.DeepEqual(fastRes, refRes) {
+			t.Fatalf("%s: chain results differ:\nfast %+v\nref  %+v", tc.name, fastRes, refRes)
+		}
+	}
+}
+
+// TestEstimateBCPooledMatchesUnpooled guards the engine's bit-identity
+// contract across the new buffer plumbing: pooled and unpooled runs
+// with one seed must agree exactly, on both oracle routes.
+func TestEstimateBCPooledMatchesUnpooled(t *testing.T) {
+	gs := map[string]*graph.Graph{
+		"fast":    graph.BarabasiAlbert(200, 3, rng.New(59)),
+		"brandes": graph.WithUniformWeights(graph.BarabasiAlbert(200, 3, rng.New(59)), 1, 7, rng.New(60)),
+	}
+	for name, g := range gs {
+		pool := NewBufferPool(g)
+		cfg := DefaultConfig(400)
+		for _, r := range []int{0, 5} {
+			a, err := EstimateBCPooled(g, r, cfg, rng.New(71), pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bres, err := EstimateBCPooled(g, r, cfg, rng.New(71), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run twice through the pool so buffer reuse (stale memo
+			// epochs) is exercised too.
+			c, err := EstimateBCPooled(g, r, cfg, rng.New(71), pool)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, bres) || !reflect.DeepEqual(a, c) {
+				t.Fatalf("%s target %d: pooled/unpooled/reused results differ", name, r)
+			}
+		}
+	}
+}
+
+// TestDegreeProposalAliasCached checks the pool builds the degree table
+// once and the chain still matches the unpooled run bit-for-bit.
+func TestDegreeProposalAliasCached(t *testing.T) {
+	g := graph.BarabasiAlbert(150, 2, rng.New(61))
+	pool := NewBufferPool(g)
+	if pool.degreeAlias() != pool.degreeAlias() {
+		t.Fatal("degree alias rebuilt on second use")
+	}
+	cfg := DefaultConfig(300)
+	cfg.DegreeProposal = true
+	a, err := EstimateBCPooled(g, 0, cfg, rng.New(83), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EstimateBCPooled(g, 0, cfg, rng.New(83), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("degree-proposal pooled run differs from unpooled")
+	}
+}
+
+// TestPooledOutOfRangeTargetErrors: an invalid target must come back
+// as an error (never a panic out of the snapshot build), pooled or not,
+// single- or multi-chain.
+func TestPooledOutOfRangeTargetErrors(t *testing.T) {
+	g := graph.Path(10)
+	pool := NewBufferPool(g)
+	cfg := DefaultConfig(10)
+	for _, r := range []int{-1, 10} {
+		if _, err := EstimateBCPooled(g, r, cfg, rng.New(1), pool); err == nil {
+			t.Fatalf("pooled target %d accepted", r)
+		}
+		if _, err := EstimateBCPooled(g, r, cfg, rng.New(1), nil); err == nil {
+			t.Fatalf("unpooled target %d accepted", r)
+		}
+		if _, err := EstimateBCParallelPooled(g, r, cfg, 1, 2, pool); err == nil {
+			t.Fatalf("parallel target %d accepted", r)
+		}
+	}
+}
+
+// TestTargetSPDCacheLRU exercises the pool's snapshot cache bound.
+func TestTargetSPDCacheLRU(t *testing.T) {
+	g := graph.BarabasiAlbert(260, 2, rng.New(67))
+	pool := NewBufferPool(g)
+	first := pool.targetSPD(0)
+	if first == nil || first.Target != 0 {
+		t.Fatal("snapshot missing")
+	}
+	if pool.targetSPD(0) != first {
+		t.Fatal("snapshot not cached")
+	}
+	// Touch more targets than the cache holds; entry 0 must be evicted
+	// and rebuilt (a different pointer), newer entries still cached.
+	for r := 1; r <= targetSPDCacheSize+10; r++ {
+		pool.targetSPD(r % g.N())
+	}
+	if pool.tspdLRU.Len() > targetSPDCacheSize {
+		t.Fatalf("cache grew to %d", pool.tspdLRU.Len())
+	}
+	if pool.targetSPD(0) == first {
+		t.Fatal("evicted snapshot pointer resurrected")
+	}
+	// Weighted graphs have no snapshots.
+	w := graph.WithUniformWeights(g, 1, 3, rng.New(68))
+	if NewBufferPool(w).targetSPD(0) != nil {
+		t.Fatal("weighted pool returned a snapshot")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
+	"bcmh/internal/sssp"
 )
 
 // MultiResult aggregates independent chains run in parallel.
@@ -50,6 +51,25 @@ func EstimateBCParallelPooled(g *graph.Graph, r int, cfg Config, seed uint64, ch
 	if err := cfg.validate(n); err != nil {
 		return MultiResult{}, err
 	}
+	if r < 0 || r >= n {
+		return MultiResult{}, fmt.Errorf("mcmc: oracle target %d out of range", r)
+	}
+	// Target-side state is chain-independent and read-only: compute the
+	// snapshot and the proposal table once, share them with every chain.
+	var tspd *sssp.TargetSPD
+	if pool != nil {
+		tspd = pool.targetSPD(r)
+	} else if fastOracleGraph(g) {
+		tspd = sssp.NewTargetSPD(sssp.NewBFS(g), r)
+	}
+	var degAlias *rng.Alias
+	if cfg.DegreeProposal {
+		if pool != nil {
+			degAlias = pool.degreeAlias()
+		} else {
+			degAlias = degreeAliasFor(g)
+		}
+	}
 	results := make([]Result, chains)
 	errs := make([]error, chains)
 	var wg sync.WaitGroup
@@ -60,23 +80,22 @@ func EstimateBCParallelPooled(g *graph.Graph, r int, cfg Config, seed uint64, ch
 		wg.Add(1)
 		go func(i int, chainRNG *rng.RNG) {
 			defer wg.Done()
-			// Each chain gets its own oracle: sssp computers are not
-			// concurrency-safe, and separate caches keep work accounting
-			// honest.
-			var oracle *Oracle
-			var err error
+			// Each chain gets its own buffers and oracle: traversal
+			// kernels are not concurrency-safe, and separate memos keep
+			// work accounting honest.
+			var b *chainBuffers
 			if pool != nil {
-				b := pool.get()
+				b = pool.get()
 				defer pool.put(b)
-				oracle, err = newOracleBuffered(g, r, !cfg.DisableCache, b)
 			} else {
-				oracle, err = NewOracle(g, r, !cfg.DisableCache)
+				b = newChainBuffers(g)
 			}
+			oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			res := runSingleChain(g, oracle, cfg, chainRNG)
+			res := runSingleChain(g, oracle, cfg, chainRNG, b, degAlias)
 			res.Evals = oracle.Evals
 			res.CacheHits = oracle.Hits
 			results[i] = res

@@ -1,47 +1,170 @@
 package mcmc
 
 import (
+	"container/list"
 	"sync"
 
 	"bcmh/internal/graph"
+	"bcmh/internal/rng"
 	"bcmh/internal/sssp"
 )
 
-// chainBuffers is one chain's worth of reusable traversal state: the
-// sssp computer (BFS/Dijkstra buffers), the Brandes accumulation
-// scratch, and the memo map the Oracle fills. The computer and scratch
-// are target-independent; only the memo's contents are per-target, so
-// they are cleared on reuse.
+// targetSPDCacheSize bounds the per-pool LRU of target-side shortest
+// path snapshots. Each entry is O(n) memory; 128 covers a large working
+// set of distinct chain targets while keeping worst-case residency at
+// 128·12 bytes per vertex.
+const targetSPDCacheSize = 128
+
+// chainBuffers is one chain's worth of reusable state. Which traversal
+// kernel it carries depends on the graph: unweighted undirected graphs
+// get the specialized BFS kernel the identity oracle runs on; weighted
+// or directed graphs get the general Computer plus the Brandes
+// accumulation scratch. The memo and visited arrays are dense and
+// epoch-stamped, so reuse across targets costs a counter bump instead
+// of a map clear (or an O(n) zeroing).
 type chainBuffers struct {
-	c     *sssp.Computer
-	delta []float64
-	memo  map[int]float64
+	c     *sssp.Computer // Brandes route (weighted/directed graphs)
+	delta []float64      // Brandes accumulation scratch
+	bfs   *sssp.BFS      // identity route (unweighted undirected graphs)
+
+	// Dependency memo: memoVal[v] is valid iff memoStamp[v] == memoEpoch.
+	memoVal   []float64
+	memoStamp []uint32
+	memoEpoch uint32
+
+	// Visited-state tracking for UniqueStates, same stamping scheme.
+	visStamp []uint32
+	visEpoch uint32
+}
+
+func newChainBuffers(g *graph.Graph) *chainBuffers {
+	n := g.N()
+	b := &chainBuffers{
+		memoVal:   make([]float64, n),
+		memoStamp: make([]uint32, n),
+		visStamp:  make([]uint32, n),
+	}
+	if fastOracleGraph(g) {
+		b.bfs = sssp.NewBFS(g)
+	} else {
+		b.c = sssp.NewComputer(g)
+		b.delta = make([]float64, n)
+	}
+	return b
+}
+
+// nextMemoEpoch invalidates every memo entry in O(1) (O(n) once per
+// 2^32 reuses, when the stamp counter wraps).
+func (b *chainBuffers) nextMemoEpoch() uint32 {
+	b.memoEpoch++
+	if b.memoEpoch == 0 {
+		clear(b.memoStamp)
+		b.memoEpoch = 1
+	}
+	return b.memoEpoch
+}
+
+// nextVisEpoch invalidates the visited set, same scheme.
+func (b *chainBuffers) nextVisEpoch() uint32 {
+	b.visEpoch++
+	if b.visEpoch == 0 {
+		clear(b.visStamp)
+		b.visEpoch = 1
+	}
+	return b.visEpoch
+}
+
+// tspdEntry is one cached target snapshot; once deduplicates concurrent
+// first requests to a single BFS.
+type tspdEntry struct {
+	once sync.Once
+	spd  *sssp.TargetSPD
 }
 
 // BufferPool recycles chain buffers across estimation calls on one
-// graph. A chain run allocates O(n) state up front (computer, scratch,
-// memo); under concurrent batch traffic that is the dominant allocation
-// source, and the pool bounds it at one buffer set per simultaneously
-// running chain. Safe for concurrent use; every buffer set it hands out
-// is private to one chain until returned.
+// graph and owns the per-graph caches every chain on that graph wants
+// to share: the target-side shortest-path snapshots the identity oracle
+// reads (one per distinct chain target, LRU-bounded) and the
+// degree-proposal alias table (built once, on first use). Safe for
+// concurrent use; every buffer set it hands out is private to one chain
+// until returned.
 type BufferPool struct {
 	g    *graph.Graph
 	pool sync.Pool
+
+	aliasOnce sync.Once
+	degAlias  *rng.Alias
+
+	tspdMtx   sync.Mutex
+	tspdByKey map[int]*list.Element // values are *list.Element of tspdLRU
+	tspdLRU   *list.List            // front = most recently used; values *tspdNode
+}
+
+type tspdNode struct {
+	target int
+	ent    *tspdEntry
 }
 
 // NewBufferPool returns a pool of chain buffers for g. Buffers are
 // sized to g at creation; do not share a pool across graphs.
 func NewBufferPool(g *graph.Graph) *BufferPool {
-	p := &BufferPool{g: g}
-	p.pool.New = func() any {
-		return &chainBuffers{
-			c:     sssp.NewComputer(g),
-			delta: make([]float64, g.N()),
-			memo:  make(map[int]float64),
-		}
+	p := &BufferPool{
+		g:         g,
+		tspdByKey: make(map[int]*list.Element, targetSPDCacheSize),
+		tspdLRU:   list.New(),
 	}
+	p.pool.New = func() any { return newChainBuffers(g) }
 	return p
 }
 
 func (p *BufferPool) get() *chainBuffers  { return p.pool.Get().(*chainBuffers) }
 func (p *BufferPool) put(b *chainBuffers) { p.pool.Put(b) }
+
+// targetSPD returns the cached target-side snapshot for target, building
+// it on first request (concurrent first requests share one build). It
+// returns nil when the graph takes the Brandes route — weighted or
+// directed graphs have no identity fast path.
+func (p *BufferPool) targetSPD(target int) *sssp.TargetSPD {
+	if !fastOracleGraph(p.g) {
+		return nil
+	}
+	p.tspdMtx.Lock()
+	el, ok := p.tspdByKey[target]
+	if ok {
+		p.tspdLRU.MoveToFront(el)
+	} else {
+		el = p.tspdLRU.PushFront(&tspdNode{target: target, ent: &tspdEntry{}})
+		p.tspdByKey[target] = el
+		for p.tspdLRU.Len() > targetSPDCacheSize {
+			oldest := p.tspdLRU.Back()
+			p.tspdLRU.Remove(oldest)
+			delete(p.tspdByKey, oldest.Value.(*tspdNode).target)
+		}
+	}
+	ent := el.Value.(*tspdNode).ent
+	p.tspdMtx.Unlock()
+	ent.once.Do(func() {
+		ent.spd = sssp.NewTargetSPD(sssp.NewBFS(p.g), target)
+	})
+	return ent.spd
+}
+
+// degreeAlias returns the degree-proposal alias table for the pool's
+// graph, built once per pool lifetime. Before this cache the table was
+// rebuilt from the full degree sequence on every DegreeProposal chain
+// run.
+func (p *BufferPool) degreeAlias() *rng.Alias {
+	p.aliasOnce.Do(func() {
+		p.degAlias = degreeAliasFor(p.g)
+	})
+	return p.degAlias
+}
+
+// degreeAliasFor builds the degree-proportional proposal table for g.
+func degreeAliasFor(g *graph.Graph) *rng.Alias {
+	w := make([]float64, g.N())
+	for v := range w {
+		w[v] = float64(g.Degree(v))
+	}
+	return rng.NewAlias(w)
+}

@@ -5,6 +5,7 @@ import (
 
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
+	"bcmh/internal/sssp"
 )
 
 // EstimatorKind selects which estimate a Result reports as its primary
@@ -172,19 +173,33 @@ func EstimateBCPooled(g *graph.Graph, r int, cfg Config, rnd *rng.RNG, pool *Buf
 	if err := cfg.validate(n); err != nil {
 		return Result{}, err
 	}
-	var oracle *Oracle
-	var err error
-	if pool != nil {
-		b := pool.get()
-		defer pool.put(b)
-		oracle, err = newOracleBuffered(g, r, !cfg.DisableCache, b)
-	} else {
-		oracle, err = NewOracle(g, r, !cfg.DisableCache)
+	if r < 0 || r >= n {
+		// Checked before the pool lookup: building (and caching) a
+		// target snapshot for an invalid vertex would panic mid-BFS.
+		return Result{}, fmt.Errorf("mcmc: oracle target %d out of range", r)
 	}
+	var b *chainBuffers
+	var tspd *sssp.TargetSPD
+	if pool != nil {
+		b = pool.get()
+		defer pool.put(b)
+		tspd = pool.targetSPD(r)
+	} else {
+		b = newChainBuffers(g)
+	}
+	oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd)
 	if err != nil {
 		return Result{}, err
 	}
-	res := runSingleChain(g, oracle, cfg, rnd)
+	var degAlias *rng.Alias
+	if cfg.DegreeProposal {
+		if pool != nil {
+			degAlias = pool.degreeAlias()
+		} else {
+			degAlias = degreeAliasFor(g)
+		}
+	}
+	res := runSingleChain(g, oracle, cfg, rnd, b, degAlias)
 	res.Evals = oracle.Evals
 	res.CacheHits = oracle.Hits
 	return res, nil
@@ -212,21 +227,21 @@ func acceptMH(depCur, depNew, hastings float64, rnd *rng.RNG) bool {
 }
 
 // runSingleChain is the core loop shared by EstimateBC and the
-// multi-chain driver (which aggregates partial results itself).
-func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG) Result {
+// multi-chain driver (which aggregates partial results itself). The
+// chain's visited set lives in b's epoch-stamped array; degAlias, when
+// non-nil, is the (possibly pool-cached) degree-proposal table for g
+// (built locally when cfg.DegreeProposal is set and none was passed).
+func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG, b *chainBuffers, degAlias *rng.Alias) Result {
 	n := g.N()
 	var res Result
 
-	// Degree-weighted proposal setup (ablation T8b). g(v) = deg(v)/2m;
-	// the Hastings factor for the acceptance of v→v' is g(v)/g(v') =
-	// deg(v)/deg(v').
-	var degAlias *rng.Alias
-	if cfg.DegreeProposal {
-		w := make([]float64, n)
-		for v := 0; v < n; v++ {
-			w[v] = float64(g.Degree(v))
-		}
-		degAlias = rng.NewAlias(w)
+	// Degree-weighted proposals (ablation T8b): g(v) = deg(v)/2m; the
+	// Hastings factor for the acceptance of v→v' is g(v)/g(v') =
+	// deg(v)/deg(v'). The fallback build keeps the proposal stream and
+	// the Hastings correction consistent even if a caller forgets to
+	// thread the cached table.
+	if cfg.DegreeProposal && degAlias == nil {
+		degAlias = degreeAliasFor(g)
 	}
 	propose := func() int {
 		if degAlias != nil {
@@ -242,8 +257,15 @@ func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG) Re
 	depCur := oracle.Dep(cur)
 	res.MaxDepSeen = depCur
 
-	visited := make(map[int]bool, 64)
-	visited[cur] = true
+	visStamp, visEpoch := b.visStamp, b.nextVisEpoch()
+	uniqueStates := 0
+	visit := func(v int) {
+		if visStamp[v] != visEpoch {
+			visStamp[v] = visEpoch
+			uniqueStates++
+		}
+	}
+	visit(cur)
 
 	// Accumulators. "Counted" sums skip the first BurnIn states.
 	var (
@@ -336,7 +358,7 @@ func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG) Re
 			cur = prop
 			depCur = depNew
 			accepted++
-			visited[cur] = true
+			visit(cur)
 			eq7Sum += fOf(depCur, n)
 		}
 		countState(depCur, t)
@@ -347,7 +369,7 @@ func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG) Re
 	}
 	finish()
 	res.AcceptanceRate = float64(accepted) / float64(cfg.Steps)
-	res.UniqueStates = len(visited)
+	res.UniqueStates = uniqueStates
 	if propCount > 0 {
 		res.MeanDepProposal = depPropSum / float64(propCount)
 	}

@@ -1,0 +1,159 @@
+package sssp
+
+import "bcmh/internal/graph"
+
+// BFS is a specialized unweighted breadth-first traversal kernel for the
+// estimators' hot path. Compared to Computer.Run it:
+//
+//   - stores distances as int32 and tests shortest-path membership with
+//     exact integer comparisons (dist[u]+1 == dist[w]), eliminating the
+//     per-edge float-tolerance checks of SPD.OnShortestPath;
+//   - packs each vertex's (epoch stamp, distance) pair into one uint64
+//     tag, so the per-edge visited test and parent test are a single
+//     8-byte load and compare — one potential cache miss per probe
+//     instead of two — and a run resets lazily by bumping the epoch,
+//     with no O(n) clear;
+//   - keeps the frontier in one flat reusable queue and walks a private
+//     int32 CSR copy of the adjacency (half the memory traffic of the
+//     graph's []int lists, no per-vertex slice-header calls).
+//
+// σ path counts remain float64: they grow combinatorially and would
+// overflow any fixed-width integer on graphs the samplers care about.
+//
+// A BFS is not safe for concurrent use; create one per goroutine.
+// DistOf and SigmaOf are undefined at vertices not reached by the
+// latest Run — consult Reached (or iterate Order, which lists exactly
+// the reached vertices) before reading them. Order aliases an internal
+// buffer invalidated by the next Run.
+type BFS struct {
+	g   *graph.Graph
+	off []int32
+	adj []int32
+	// tag[v] = uint64(epoch)<<32 | uint64(uint32(dist)): the vertex was
+	// reached by the latest Run iff tag[v]>>32 == epoch.
+	tag   []uint64
+	sigma []float64
+	epoch uint32
+	queue []int32
+}
+
+// NewBFS returns a BFS kernel for g. It panics if g is weighted: the
+// kernel counts hops, and a weighted graph silently measured in hops
+// would corrupt every estimate built on it (weighted graphs take the
+// Dijkstra route in Computer).
+func NewBFS(g *graph.Graph) *BFS {
+	if g.Weighted() {
+		panic("sssp: BFS kernel requires an unweighted graph")
+	}
+	n := g.N()
+	b := &BFS{
+		g:     g,
+		off:   make([]int32, n+1),
+		tag:   make([]uint64, n),
+		sigma: make([]float64, n),
+		queue: make([]int32, 0, n),
+	}
+	degSum := 0
+	for v := 0; v < n; v++ {
+		degSum += g.Degree(v)
+	}
+	b.adj = make([]int32, 0, degSum)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			b.adj = append(b.adj, int32(w))
+		}
+		b.off[v+1] = int32(len(b.adj))
+	}
+	return b
+}
+
+// Graph returns the graph this kernel traverses.
+func (b *BFS) Graph() *graph.Graph { return b.g }
+
+// Run traverses from source, filling distances, path counts and the
+// visit order. It panics if source is out of range.
+func (b *BFS) Run(source int) {
+	if source < 0 || source >= b.g.N() {
+		panic("sssp: BFS source out of range")
+	}
+	b.epoch++
+	if b.epoch == 0 { // stamp wrap: one O(n) clear every 2^32 runs
+		clear(b.tag)
+		b.epoch = 1
+	}
+	ep := uint64(b.epoch)
+	off, adj := b.off, b.adj
+	tag, sigma := b.tag, b.sigma
+	q := b.queue[:0]
+	tag[source] = ep << 32 // distance 0
+	sigma[source] = 1
+	q = append(q, int32(source))
+	for head := 0; head < len(q); head++ {
+		u := q[head]
+		// Tag every neighbor joins the next level with: same epoch,
+		// distance dist(u)+1.
+		next := tag[u] + 1
+		su := sigma[u]
+		for _, v := range adj[off[u]:off[u+1]] {
+			t := tag[v]
+			switch {
+			case t>>32 != ep: // unreached this run
+				tag[v] = next
+				sigma[v] = su
+				q = append(q, v)
+			case t == next: // already on the next level: extra parent
+				sigma[v] += su
+			}
+		}
+	}
+	b.queue = q
+}
+
+// Reached reports whether v was reached by the latest Run.
+func (b *BFS) Reached(v int) bool { return uint32(b.tag[v]>>32) == b.epoch }
+
+// DistOf returns the hop-count distance of v from the latest Run's
+// source. Defined only at reached vertices.
+func (b *BFS) DistOf(v int) int32 { return int32(uint32(b.tag[v])) }
+
+// SigmaOf returns σ_source,v of the latest Run. Defined only at
+// reached vertices.
+func (b *BFS) SigmaOf(v int) float64 { return b.sigma[v] }
+
+// Order returns the vertices reached by the latest Run in BFS
+// (non-decreasing distance) order, source first.
+func (b *BFS) Order() []int32 { return b.queue }
+
+// TargetSPD is a retained dense snapshot of the shortest-path data
+// rooted at one fixed vertex of an unweighted graph: d(target, t) and
+// σ_target,t for every t, with Unreachable (-1) distances at vertices
+// in other components. It is what the identity-based dependency
+// evaluator (brandes.DependencyOnTargetIdentity) caches once per MH
+// chain target and reads on every step. Immutable after construction
+// and safe to share across goroutines.
+type TargetSPD struct {
+	Target int
+	Dist   []int32
+	Sigma  []float64
+}
+
+// NewTargetSPD runs one BFS from target on b and snapshots the result
+// into a TargetSPD that survives subsequent runs of b.
+func NewTargetSPD(b *BFS, target int) *TargetSPD {
+	b.Run(target)
+	n := b.g.N()
+	t := &TargetSPD{
+		Target: target,
+		Dist:   make([]int32, n),
+		Sigma:  make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		if b.Reached(v) {
+			t.Dist[v] = b.DistOf(v)
+			t.Sigma[v] = b.sigma[v]
+		} else {
+			t.Dist[v] = Unreachable
+		}
+	}
+	return t
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmarks and record the results as
+# BENCH_<date>.json in the repo root, so the performance trajectory of
+# the estimation kernel is tracked in-tree PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                 # default benchmark set, 3×2s each
+#   BENCH='T2|Engine' scripts/bench.sh
+#   COUNT=5 BENCHTIME=5s OUT=/tmp/b.json scripts/bench.sh
+#
+# The JSON records, per benchmark, the best (minimum) ns/op over COUNT
+# runs — the most repeatable point estimate on a noisy machine — plus
+# every individual run for spread inspection.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkSequentialBatch32'}
+BENCHTIME=${BENCHTIME:-2s}
+COUNT=${COUNT:-3}
+OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "running: go test -run '^$' -bench '$BENCH' -benchtime $BENCHTIME -count $COUNT ." >&2
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TMP" >&2
+
+awk -v date="$(date +%Y-%m-%d)" \
+    -v goversion="$(go version | awk '{print $3}')" \
+    -v benchtime="$BENCHTIME" -v count="$COUNT" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name) # strip GOMAXPROCS suffix
+    ns = $3 # keep the integer as a string: awk printf/OFMT mangle >2^31
+    if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+    if (name in runs) { runs[name] = runs[name] ", " ns } else {
+        runs[name] = ns
+        order[++n] = name
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"date\": \"%s\",\n", date
+    printf "  \"go\": \"%s\",\n", goversion
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"count\": %d,\n", count
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"best_ns_per_op\": %s, \"runs_ns_per_op\": [%s]}%s\n", \
+            name, best[name], runs[name], (i < n ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "wrote $OUT" >&2
