@@ -1,77 +1,161 @@
 // Command bcserve serves betweenness-centrality estimation over
-// HTTP/JSON: it loads an edge list once, prepares it through the batch
-// estimation engine (internal/engine), and answers concurrent
-// estimation traffic with shared μ/result caches and pooled buffers.
+// HTTP/JSON from a multi-tenant graph store: any number of graphs can
+// be preloaded at startup (each becoming a pinned session) or uploaded,
+// listed, and deleted at runtime through the /graphs management API,
+// all sharing one bounded memory budget with LRU eviction of idle
+// sessions.
 //
-//	bcserve -in net.txt -addr :8080
+//	bcserve -addr :8080                          # empty store, upload-only
+//	bcserve -in net.txt                          # one graph, aliased to /estimate etc.
+//	bcserve -in web=web.txt -in road=road.txt    # many named graphs
+//
+// Endpoints (see internal/store.NewServer for the full reference):
+//
+//	POST   /graphs                     upload an edge list ({"id","edge_list"} or raw body + ?id=)
+//	GET    /graphs                     list sessions and budget counters
+//	GET    /graphs/{id}                one session's description
+//	DELETE /graphs/{id}                drop a session (aborts its in-flight work)
+//	POST   /graphs/{id}/estimate       {"vertex": 3, "epsilon": 0.05, "seed": 7}
+//	POST   /graphs/{id}/estimate/batch {"targets": [3, 9, 3], "seed": 7}
+//	GET    /graphs/{id}/exact/3
+//	GET    /graphs/{id}/stats
+//
+// The single-graph routes of earlier versions (POST /estimate,
+// POST /estimate/batch, GET /exact/{v}, GET /stats) remain as aliases
+// for the default session — the first -in graph (or the one named by
+// -default).
 //
 // Request vertices are the labels appearing in the input file (labels
 // dropped with smaller components are rejected with an explanatory
-// error). Endpoints:
-//
-//	POST /estimate        {"vertex": 3, "epsilon": 0.05, "seed": 7}
-//	POST /estimate/batch  {"targets": [3, 9, 3], "seed": 7, "concurrency": 8}
-//	GET  /exact/3
-//	GET  /stats
+// error). On SIGINT/SIGTERM the server drains: no new connections,
+// in-flight requests get -drain to finish, then every session is
+// closed, aborting whatever chains are still running.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
-	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
 	"time"
 
 	"bcmh/internal/engine"
 	"bcmh/internal/graph"
+	"bcmh/internal/store"
 )
+
+// preload is one -in flag occurrence: "path" or "id=path".
+type preload struct {
+	id, path string
+}
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input edge-list file (required)")
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", engine.DefaultCacheSize, "completed-estimate LRU capacity (<0 disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		cacheSize   = flag.Int("cache", engine.DefaultCacheSize, "per-session completed-estimate LRU capacity (<0 disables)")
+		maxBytes    = flag.Int64("max-bytes", store.DefaultMaxBytes, "graph store memory budget in (estimated) bytes")
+		maxSessions = flag.Int("max-sessions", store.DefaultMaxSessions, "maximum resident graph sessions")
+		defaultID   = flag.String("default", "", "session id the legacy single-graph routes alias (default: the first -in graph)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		maxBody     = flag.Int64("max-body", 64<<20, "request body size limit in bytes (bounds uploads)")
 	)
-	flag.Parse()
-	if *in == "" {
-		fmt.Fprintln(os.Stderr, "bcserve: -in is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	raw, idOf, err := graph.ReadEdgeListFile(*in)
-	if err != nil {
-		log.Fatalf("bcserve: %v", err)
-	}
-	eng, err := engine.NewWithConfig(raw, engine.Config{ResultCacheSize: *cacheSize})
-	if err != nil {
-		log.Fatalf("bcserve: %v", err)
-	}
-	g := eng.Graph()
-	if eng.Mapping() != nil {
-		log.Printf("bcserve: using largest component (%d of %d vertices)", g.N(), raw.N())
-	}
-	// Requests address vertices by the labels appearing in the input
-	// file: compose the read-time compaction with the component
-	// extraction.
-	labels := make([]int64, g.N())
-	for v := range labels {
-		rawV := v
-		if m := eng.Mapping(); m != nil {
-			rawV = m[v]
+	var preloads []preload
+	flag.Func("in", "edge-list file to preload, as `path` or `id=path` (repeatable)", func(v string) error {
+		id, path, ok := strings.Cut(v, "=")
+		if !ok {
+			path = v
+			id = sessionIDFromPath(path, len(preloads))
 		}
-		labels[v] = idOf[rawV]
+		if path == "" {
+			return fmt.Errorf("empty path")
+		}
+		preloads = append(preloads, preload{id: id, path: path})
+		return nil
+	})
+	flag.Parse()
+
+	st := store.New(store.Config{
+		MaxBytes:        *maxBytes,
+		MaxSessions:     *maxSessions,
+		ResultCacheSize: *cacheSize,
+	})
+	for _, p := range preloads {
+		raw, idOf, err := graph.ReadEdgeListFile(p.path)
+		if err != nil {
+			log.Fatalf("bcserve: loading %s: %v", p.path, err)
+		}
+		// Preloaded graphs are pinned: operator-chosen working sets
+		// must not fall out under upload pressure.
+		sess, err := st.CreateFromGraph(p.id, raw, idOf, true)
+		if err != nil {
+			log.Fatalf("bcserve: preparing %s: %v", p.path, err)
+		}
+		g := sess.Engine().Graph()
+		if sess.Engine().Mapping() != nil {
+			log.Printf("bcserve: %s: using largest component (%d of %d vertices)", p.id, g.N(), raw.N())
+		}
+		log.Printf("bcserve: session %q ready (n=%d, m=%d, ~%d bytes)", p.id, g.N(), g.M(), sess.Cost())
 	}
-	log.Printf("bcserve: serving %s (n=%d, m=%d) on %s", *in, g.N(), g.M(), *addr)
+	if *defaultID == "" && len(preloads) > 0 {
+		*defaultID = preloads[0].id
+	}
+	if *defaultID != "" {
+		if _, err := st.Get(*defaultID); err != nil {
+			log.Fatalf("bcserve: default session %q: %v", *defaultID, err)
+		}
+		log.Printf("bcserve: single-graph routes alias session %q", *defaultID)
+	}
+
 	srv := &http.Server{
-		Addr: *addr,
-		// 1 MiB bounds even a MaxBatchTargets-sized request body.
-		Handler:           http.MaxBytesHandler(engine.NewServerWithLabels(eng, labels), 1<<20),
+		Addr:              *addr,
+		Handler:           http.MaxBytesHandler(store.NewServer(st, *defaultID), *maxBody),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := srv.ListenAndServe(); err != nil {
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, give
+	// in-flight requests the drain window, then close the store so any
+	// chains still running abort through their session contexts.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("bcserve: serving %d graph(s) on %s (budget %d bytes, %d sessions max)",
+			st.Len(), *addr, *maxBytes, *maxSessions)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
 		log.Fatalf("bcserve: %v", err)
+	case <-ctx.Done():
 	}
+	stop() // restore default signal handling: a second ^C kills immediately
+	log.Printf("bcserve: shutting down (draining up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("bcserve: shutdown: %v", err)
+	}
+	// Abort anything that outlived the drain window and free the store.
+	st.Close()
+	log.Printf("bcserve: bye")
+}
+
+// sessionIDFromPath derives a session id from a bare -in path: the file
+// base name without extension when that is a valid store id (the store
+// is the single authority on id rules), g<index> otherwise.
+func sessionIDFromPath(path string, index int) string {
+	base := filepath.Base(path)
+	id := strings.TrimSuffix(base, filepath.Ext(base))
+	if store.CheckID(id) != nil {
+		id = fmt.Sprintf("g%d", index)
+	}
+	return id
 }

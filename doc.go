@@ -15,8 +15,14 @@
 //   - internal/engine — the batch estimation subsystem: one prepared
 //     graph handle serving concurrent requests with a shared μ-cache,
 //     a bounded LRU of completed estimates, pooled traversal buffers,
-//     and a deterministic batch worker pool; includes the HTTP/JSON
-//     handlers cmd/bcserve mounts.
+//     and a deterministic batch worker pool; includes the single-graph
+//     HTTP/JSON handlers the store mounts per session.
+//   - internal/store — the multi-tenant graph store: named sessions
+//     (each an engine plus label table and lifecycle context) created
+//     from uploaded edge lists, listed, and deleted over the /graphs
+//     management API, under a bounded memory budget with LRU eviction
+//     of idle sessions, creation singleflight, and session-coupled
+//     request contexts. cmd/bcserve mounts store.NewServer.
 //   - internal/brandes, internal/sssp, internal/graph, internal/rng,
 //     internal/stats, internal/sampler — the exact-algorithm, traversal,
 //     graph, randomness, statistics, and baseline-sampler substrates.
@@ -34,6 +40,27 @@
 // accumulation (brandes.DependencyOnTarget). See README.md for the
 // selection rules, equivalence guarantees, and measured speedups, and
 // scripts/bench.sh for the benchmark-tracking workflow.
+//
+// # Serving model and cancellation
+//
+// bcserve runs zero, one, or many graphs as store sessions. The
+// /graphs API manages the lifecycle (POST /graphs uploads an edge
+// list, GET /graphs lists, DELETE /graphs/{id} drops), and each
+// session serves /graphs/{id}/estimate, /graphs/{id}/estimate/batch,
+// /graphs/{id}/exact/{v}, and /graphs/{id}/stats. The pre-store
+// single-graph routes (/estimate, /estimate/batch, /exact/{v},
+// /stats) remain as aliases for the default session — the first
+// preloaded graph. Idle sessions are evicted least-recently-used when
+// the store exceeds its memory budget; pinned (preloaded) and busy
+// sessions are exempt.
+//
+// context.Context is threaded end-to-end: each HTTP request's context,
+// merged with its session's lifecycle context, reaches the MH chain
+// step loop (mcmc.EstimateBCPooledContext and the parallel variant),
+// which polls it every few hundred steps. A disconnected client maps
+// to 499, a session deleted under a running request to 503, and either
+// way the chains stop traversing promptly instead of running to their
+// full step budget.
 //
 // Executables are under cmd/ (bcmh, bcserve, bcbench, bcexact, bcgen)
 // and runnable examples under examples/. bench_test.go in this

@@ -12,6 +12,7 @@
 package brandes
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -168,12 +169,22 @@ func DependencyVector(g *graph.Graph, r int) []float64 {
 // a forward BFS plus O(n) scan per source — see identity.go); weighted
 // or directed graphs run the reference Brandes accumulation per source.
 func DependencyVectorParallel(g *graph.Graph, r int, workers int) []float64 {
+	out, _ := DependencyVectorParallelContext(context.Background(), g, r, workers)
+	return out
+}
+
+// DependencyVectorParallelContext is DependencyVectorParallel under a
+// context: workers poll ctx between source traversals (each a full
+// BFS/Dijkstra, so the check is free by comparison) and the whole
+// computation stops within one traversal per worker of a cancellation.
+// On cancellation the returned slice is nil and the error is ctx's.
+func DependencyVectorParallelContext(ctx context.Context, g *graph.Graph, r int, workers int) ([]float64, error) {
 	n := g.N()
 	if r < 0 || r >= n {
 		panic("brandes: DependencyVector target out of range")
 	}
 	if !g.Weighted() && !g.Directed() {
-		return dependencyVectorIdentity(g, r, workers)
+		return DependencyVectorWithTargetContext(ctx, g, sssp.NewTargetSPD(sssp.NewBFS(g), r), workers)
 	}
 	out := make([]float64, n)
 	if workers <= 0 {
@@ -182,28 +193,40 @@ func DependencyVectorParallel(g *graph.Graph, r int, workers int) []float64 {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	column := func(from int) error {
 		c := sssp.NewComputer(g)
 		delta := make([]float64, n)
-		for v := 0; v < n; v++ {
-			out[v] = DependencyOnTarget(c, delta, v, r)
+		for v := from; v < n; v += workers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out[v] = DependencyOnTarget(c, delta, v, r) // disjoint writes
 		}
-		return out
+		return nil
 	}
+	if workers <= 1 {
+		workers = 1
+		if err := column(0); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			c := sssp.NewComputer(g)
-			delta := make([]float64, n)
-			for v := w; v < n; v += workers {
-				out[v] = DependencyOnTarget(c, delta, v, r) // disjoint writes
-			}
+			errs[w] = column(w)
 		}(w)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // BCOfVertexExact returns the exact betweenness of r via its dependency

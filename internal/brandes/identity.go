@@ -1,6 +1,7 @@
 package brandes
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -66,11 +67,19 @@ func DependencyColumnIdentity(vb *sssp.BFS, ts *sssp.TargetSPD, out []float64, f
 	}
 }
 
-// dependencyVectorIdentity is DependencyVectorParallel's fast route:
-// one target-side BFS, then n source BFS traversals with O(n) scans,
-// fanned over workers.
-func dependencyVectorIdentity(g *graph.Graph, r int, workers int) []float64 {
-	return DependencyVectorWithTarget(g, sssp.NewTargetSPD(sssp.NewBFS(g), r), workers)
+// dependencyColumnIdentityContext is DependencyColumnIdentity polling
+// ctx before every source traversal (each is a full BFS, so the check
+// is free by comparison); on cancellation it stops with ctx's error and
+// out left partially filled.
+func dependencyColumnIdentityContext(ctx context.Context, vb *sssp.BFS, ts *sssp.TargetSPD, out []float64, from, to, stride int) error {
+	for v := from; v < to; v += stride {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		vb.Run(v)
+		out[v] = DependencyOnTargetIdentity(vb, ts, v)
+	}
+	return nil
 }
 
 // DependencyVectorWithTarget is the identity-route dependency column
@@ -79,6 +88,16 @@ func dependencyVectorIdentity(g *graph.Graph, r int, workers int) []float64 {
 // target-side BFS. g must be the unweighted undirected graph ts was
 // built on; workers as in DependencyVectorParallel.
 func DependencyVectorWithTarget(g *graph.Graph, ts *sssp.TargetSPD, workers int) []float64 {
+	out, _ := DependencyVectorWithTargetContext(context.Background(), g, ts, workers)
+	return out
+}
+
+// DependencyVectorWithTargetContext is DependencyVectorWithTarget under
+// a context: every worker polls ctx between source traversals, so a
+// cancelled O(nm) column computation stops within one BFS per worker
+// instead of running to completion. On cancellation the returned slice
+// is nil and the error is ctx's.
+func DependencyVectorWithTargetContext(ctx context.Context, g *graph.Graph, ts *sssp.TargetSPD, workers int) ([]float64, error) {
 	n := g.N()
 	out := make([]float64, n)
 	if workers <= 0 {
@@ -88,17 +107,25 @@ func DependencyVectorWithTarget(g *graph.Graph, ts *sssp.TargetSPD, workers int)
 		workers = n
 	}
 	if workers <= 1 {
-		DependencyColumnIdentity(sssp.NewBFS(g), ts, out, 0, n, 1)
-		return out
+		if err := dependencyColumnIdentityContext(ctx, sssp.NewBFS(g), ts, out, 0, n, 1); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			DependencyColumnIdentity(sssp.NewBFS(g), ts, out, w, n, workers) // disjoint writes
+			errs[w] = dependencyColumnIdentityContext(ctx, sssp.NewBFS(g), ts, out, w, n, workers) // disjoint writes
 		}(w)
 	}
 	wg.Wait()
-	return out
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"bcmh/internal/brandes"
@@ -166,6 +167,15 @@ func Prepare(g *graph.Graph) (*graph.Graph, []int, error) {
 // EstimateBC estimates the betweenness centrality of vertex r in g with
 // the paper's single-space Metropolis–Hastings sampler (§4.2).
 func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
+	return EstimateBCContext(context.Background(), g, r, opts)
+}
+
+// EstimateBCContext is EstimateBC under a context: the chain loop polls
+// ctx and aborts with its error on cancellation (see
+// mcmc.EstimateBCPooledContext), so callers serving interactive traffic
+// can stop paying for estimates nobody is waiting on. A run that
+// completes is bit-identical to EstimateBC.
+func EstimateBCContext(ctx context.Context, g *graph.Graph, r int, opts Options) (Estimate, error) {
 	if err := validateGraph(g); err != nil {
 		return Estimate{}, err
 	}
@@ -181,7 +191,7 @@ func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
 		}
 		mu = ms.Mu
 	}
-	return EstimateBCPrepared(g, r, o, mu, nil)
+	return EstimateBCPreparedContext(ctx, g, r, o, mu, nil)
 }
 
 // EstimateBCPrepared is the estimation kernel behind EstimateBC for
@@ -194,6 +204,13 @@ func EstimateBC(g *graph.Graph, r int, opts Options) (Estimate, error) {
 // point. A non-positive μ with unplanned steps means the dependency
 // column is all-zero, so BC(r) = 0 exactly and no chain is run.
 func EstimateBCPrepared(g *graph.Graph, r int, opts Options, mu float64, pool *mcmc.BufferPool) (Estimate, error) {
+	return EstimateBCPreparedContext(context.Background(), g, r, opts, mu, pool)
+}
+
+// EstimateBCPreparedContext is EstimateBCPrepared under a context; the
+// chain step loop (single- and parallel-chain paths alike) aborts with
+// ctx's error on cancellation.
+func EstimateBCPreparedContext(ctx context.Context, g *graph.Graph, r int, opts Options, mu float64, pool *mcmc.BufferPool) (Estimate, error) {
 	if r < 0 || r >= g.N() {
 		return Estimate{}, fmt.Errorf("core: vertex %d out of range [0,%d)", r, g.N())
 	}
@@ -223,7 +240,7 @@ func EstimateBCPrepared(g *graph.Graph, r int, opts Options, mu float64, pool *m
 	est.PlannedSteps = steps
 	est.Chains = o.Chains
 	if o.Chains > 1 {
-		multi, err := mcmc.EstimateBCParallelPooled(g, r, cfg, o.Seed, o.Chains, pool)
+		multi, err := mcmc.EstimateBCParallelPooledContext(ctx, g, r, cfg, o.Seed, o.Chains, pool)
 		if err != nil {
 			return Estimate{}, err
 		}
@@ -232,7 +249,7 @@ func EstimateBCPrepared(g *graph.Graph, r int, opts Options, mu float64, pool *m
 		est.PerChain = multi.PerChain
 		return est, nil
 	}
-	res, err := mcmc.EstimateBCPooled(g, r, cfg, rng.New(o.Seed), pool)
+	res, err := mcmc.EstimateBCPooledContext(ctx, g, r, cfg, rng.New(o.Seed), pool)
 	if err != nil {
 		return Estimate{}, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"strconv"
 	"sync"
@@ -46,6 +47,15 @@ func SeedFor(seed uint64, target int) uint64 {
 // chain. Results come back in request order; the first estimation
 // error (if any) aborts with that error.
 func (e *Engine) EstimateBatch(targets []int, opts BatchOptions) ([]BatchResult, error) {
+	return e.EstimateBatchContext(context.Background(), targets, opts)
+}
+
+// EstimateBatchContext is EstimateBatch under a context: cancellation
+// aborts the in-flight per-target chains (each worker estimates through
+// EstimateContext) and stops dispatching queued targets, returning
+// ctx's error. A batch that completes is bit-identical to
+// EstimateBatch.
+func (e *Engine) EstimateBatchContext(ctx context.Context, targets []int, opts BatchOptions) ([]BatchResult, error) {
 	for _, r := range targets {
 		if err := e.checkVertex(r); err != nil {
 			return nil, err
@@ -84,7 +94,7 @@ func (e *Engine) EstimateBatch(targets []int, opts BatchOptions) ([]BatchResult,
 				r := distinct[di]
 				o := opts.Estimation
 				o.Seed = SeedFor(opts.Seed, r)
-				est, err := e.Estimate(r, o)
+				est, err := e.EstimateContext(ctx, r, o)
 				if err != nil {
 					errs[di] = err
 					continue
@@ -95,11 +105,22 @@ func (e *Engine) EstimateBatch(targets []int, opts BatchOptions) ([]BatchResult,
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for di := range distinct {
-		work <- di
+		select {
+		case work <- di:
+		case <-done:
+			// Stop feeding the pool; in-flight estimates abort on their
+			// own cancellation checks.
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

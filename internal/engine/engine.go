@@ -29,6 +29,8 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,19 +50,27 @@ type Config struct {
 	// DefaultCacheSize; negative disables result caching entirely
 	// (μ caching and buffer pooling are always on).
 	ResultCacheSize int
+	// Lifecycle, when non-nil, bounds the background work the engine
+	// spawns on its own behalf — the detached μ computations behind
+	// MuStatsContext. Cancelling it aborts those computations within
+	// one traversal per worker; internal/store passes each session's
+	// lifecycle context here so an evicted graph stops consuming CPU.
+	// Nil means context.Background (background work always completes).
+	Lifecycle context.Context
 }
 
 // Engine owns the shared state for estimating betweenness on one
 // prepared graph. Safe for concurrent use.
 type Engine struct {
-	g       *graph.Graph
-	mapping []int
+	g         *graph.Graph
+	mapping   []int
+	lifecycle context.Context
 
 	pool *mcmc.BufferPool
 
-	// μ-cache: one entry per requested target, computed once under the
-	// entry's sync.Once so concurrent first requests share the O(nm)
-	// MuExact evaluation.
+	// μ-cache: one entry per requested target, computed once in a
+	// detached goroutine so concurrent first requests share the O(nm)
+	// MuExact evaluation and every waiter stays cancellable.
 	muMtx sync.Mutex
 	mu    map[int]*muEntry
 
@@ -73,8 +83,12 @@ type Engine struct {
 	batches                  atomic.Uint64
 }
 
+// muEntry is one target's μ computation: done closes when stats/err are
+// final. The computation runs detached from any request so it always
+// completes and warms the cache, while every requester — the initiator
+// included — waits cancellably.
 type muEntry struct {
-	once  sync.Once
+	done  chan struct{}
 	stats mcmc.MuStats
 	err   error
 }
@@ -96,12 +110,17 @@ func NewWithConfig(g *graph.Graph, cfg Config) (*Engine, error) {
 	if size == 0 {
 		size = DefaultCacheSize
 	}
+	lifecycle := cfg.Lifecycle
+	if lifecycle == nil {
+		lifecycle = context.Background()
+	}
 	return &Engine{
-		g:       prepared,
-		mapping: mapping,
-		pool:    mcmc.NewBufferPool(prepared),
-		mu:      make(map[int]*muEntry),
-		results: newLRUCache(size),
+		g:         prepared,
+		mapping:   mapping,
+		lifecycle: lifecycle,
+		pool:      mcmc.NewBufferPool(prepared),
+		mu:        make(map[int]*muEntry),
+		results:   newLRUCache(size),
 	}, nil
 }
 
@@ -112,9 +131,14 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // core.Prepare, or nil when the input graph was usable as-is.
 func (e *Engine) Mapping() []int { return e.mapping }
 
+// ErrUnknownVertex is wrapped by every "no such vertex" failure —
+// out-of-range engine ids and labels absent from the serving table —
+// so the HTTP layer can map them to 404 with errors.Is.
+var ErrUnknownVertex = errors.New("unknown vertex")
+
 func (e *Engine) checkVertex(r int) error {
 	if r < 0 || r >= e.g.N() {
-		return fmt.Errorf("engine: vertex %d out of range [0,%d)", r, e.g.N())
+		return fmt.Errorf("engine: vertex %d out of range [0,%d): %w", r, e.g.N(), ErrUnknownVertex)
 	}
 	return nil
 }
@@ -124,14 +148,34 @@ func (e *Engine) checkVertex(r int) error {
 // lifetime. Concurrent first calls for the same target block on a
 // single computation; every later call is a cache hit.
 func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
+	return e.MuStatsContext(context.Background(), r)
+}
+
+// MuStatsContext is MuStats under a context. The O(nm) computation
+// itself is shared across requesters and runs to completion in a
+// detached goroutine (abandoned work still warms the cache), but a
+// requester whose ctx is cancelled stops waiting and returns ctx's
+// error immediately — so exact-BC and planned-steps requests are
+// cancellable even while μ is being derived.
+func (e *Engine) MuStatsContext(ctx context.Context, r int) (mcmc.MuStats, error) {
 	if err := e.checkVertex(r); err != nil {
 		return mcmc.MuStats{}, err
 	}
 	e.muMtx.Lock()
 	ent, ok := e.mu[r]
 	if !ok {
-		ent = &muEntry{}
+		ent = &muEntry{done: make(chan struct{})}
 		e.mu[r] = ent
+		go func() {
+			// Pooled: the target-side BFS snapshot this derives the
+			// column from is cached in the buffer pool, where the same
+			// target's chain oracles will find it (and vice versa).
+			// Bounded by the engine lifecycle, not the requester's ctx:
+			// abandoned requests still warm the cache, but an engine
+			// whose session died stops computing.
+			ent.stats, ent.err = mcmc.MuExactPooledContext(e.lifecycle, e.g, r, e.pool)
+			close(ent.done)
+		}()
 	}
 	e.muMtx.Unlock()
 	if ok {
@@ -139,13 +183,12 @@ func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
 	} else {
 		e.muMisses.Add(1)
 	}
-	ent.once.Do(func() {
-		// Pooled: the target-side BFS snapshot this derives the column
-		// from is cached in the buffer pool, where the same target's
-		// chain oracles will find it (and vice versa).
-		ent.stats, ent.err = mcmc.MuExactPooled(e.g, r, e.pool)
-	})
-	return ent.stats, ent.err
+	select {
+	case <-ent.done:
+		return ent.stats, ent.err
+	case <-ctx.Done():
+		return mcmc.MuStats{}, ctx.Err()
+	}
 }
 
 // ExactBCOf returns the exact betweenness of r, served from the μ-cache
@@ -153,7 +196,13 @@ func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
 // repeated exact queries for one vertex cost one O(nm) evaluation
 // total. This is the engine's /exact path.
 func (e *Engine) ExactBCOf(r int) (float64, error) {
-	ms, err := e.MuStats(r)
+	return e.ExactBCOfContext(context.Background(), r)
+}
+
+// ExactBCOfContext is ExactBCOf under a context (see MuStatsContext for
+// the cancellation semantics).
+func (e *Engine) ExactBCOfContext(ctx context.Context, r int) (float64, error) {
+	ms, err := e.MuStatsContext(ctx, r)
 	if err != nil {
 		return 0, err
 	}
@@ -164,6 +213,17 @@ func (e *Engine) ExactBCOf(r int) (float64, error) {
 // the engine's μ-cache, result cache, and buffer pool. Results are
 // bit-identical to core.EstimateBC with the same options and seed.
 func (e *Engine) Estimate(r int, opts core.Options) (core.Estimate, error) {
+	return e.EstimateContext(context.Background(), r, opts)
+}
+
+// EstimateContext is Estimate under a context: a cancelled ctx aborts
+// the in-flight chains promptly with ctx's error instead of letting
+// them run to their full step budget (the serving layer passes each
+// request's context here, so a disconnected client or an evicted
+// session stops consuming CPU). Cache lookups are unaffected — a hit is
+// served even under a cancelled context — and aborted runs are never
+// cached.
+func (e *Engine) EstimateContext(ctx context.Context, r int, opts core.Options) (core.Estimate, error) {
 	if err := e.checkVertex(r); err != nil {
 		return core.Estimate{}, err
 	}
@@ -178,13 +238,13 @@ func (e *Engine) Estimate(r int, opts core.Options) (core.Estimate, error) {
 	defer e.inFlight.Add(-1)
 	mu := o.MuBound
 	if o.Steps <= 0 && mu <= 0 {
-		ms, err := e.MuStats(r)
+		ms, err := e.MuStatsContext(ctx, r)
 		if err != nil {
 			return core.Estimate{}, err
 		}
 		mu = ms.Mu
 	}
-	est, err := core.EstimateBCPrepared(e.g, r, o, mu, e.pool)
+	est, err := core.EstimateBCPreparedContext(ctx, e.g, r, o, mu, e.pool)
 	if err != nil {
 		return core.Estimate{}, err
 	}

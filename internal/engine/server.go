@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -170,7 +172,7 @@ func (s *server) vertexOf(v int64) (int, error) {
 	}
 	id, ok := s.byLabel[v]
 	if !ok {
-		return 0, fmt.Errorf("engine: unknown vertex label %d (dropped with a smaller component, or absent from the input)", v)
+		return 0, fmt.Errorf("engine: %w label %d (dropped with a smaller component, or absent from the input)", ErrUnknownVertex, v)
 	}
 	return id, nil
 }
@@ -183,14 +185,53 @@ func (s *server) labelFor(v int) int64 {
 	return s.labelOf[v]
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// StatusClientClosedRequest is the (de-facto standard, nginx-origin)
+// status reported when an estimate aborts because the request's own
+// context was cancelled — the client hung up, so nobody reads the reply,
+// but logs and tests still see an honest code.
+const StatusClientClosedRequest = 499
+
+// WriteJSON writes v as the JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// WriteError writes the error-shape reply every endpoint of this
+// serving stack uses: {"error": "<message>"} with the given status.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// StatusForError maps an estimation-path error to its pinned HTTP
+// status:
+//
+//   - context cancellation/deadline → 499 when the request's own
+//     context fired, 503 when a custom cancellation cause (e.g. a graph
+//     session being evicted or the server draining) aborted it — the
+//     cause's message is what the client should see, so it is returned
+//     alongside;
+//   - ErrUnknownVertex (out-of-range ids, labels not in the serving
+//     table) → 404;
+//   - everything else (malformed options, over-budget requests) → 400.
+func StatusForError(ctx context.Context, err error) (int, error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if cause := context.Cause(ctx); cause != nil &&
+			!errors.Is(cause, context.Canceled) && !errors.Is(cause, context.DeadlineExceeded) {
+			return http.StatusServiceUnavailable, cause
+		}
+		return StatusClientClosedRequest, err
+	}
+	if errors.Is(err, ErrUnknownVertex) {
+		return http.StatusNotFound, err
+	}
+	return http.StatusBadRequest, err
+}
+
+func writeRequestError(w http.ResponseWriter, ctx context.Context, err error) {
+	status, mapped := StatusForError(ctx, err)
+	WriteError(w, status, mapped)
 }
 
 func toResponse(label int64, seed uint64, est core.Estimate) EstimateResponse {
@@ -210,21 +251,21 @@ func toResponse(label int64, seed uint64, est core.Estimate) EstimateResponse {
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
 		return
 	}
 	kind, err := parseEstimator(req.Estimator)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
 	if err := checkRequestBudget(req.Steps, req.MaxSteps, req.Chains); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
 	vertex, err := s.vertexOf(req.Vertex)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
 	opts := core.Options{
@@ -237,37 +278,37 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Seed:      req.Seed,
 		Estimator: kind,
 	}
-	est, err := s.e.Estimate(vertex, opts)
+	est, err := s.e.EstimateContext(r.Context(), vertex, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, toResponse(req.Vertex, req.Seed, est))
+	WriteJSON(w, http.StatusOK, toResponse(req.Vertex, req.Seed, est))
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
 		return
 	}
 	kind, err := parseEstimator(req.Estimator)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
 	if err := checkRequestBudget(req.Steps, req.MaxSteps, req.Chains); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
 	if len(req.Targets) > MaxBatchTargets {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d targets exceeds the limit %d", len(req.Targets), MaxBatchTargets))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("batch of %d targets exceeds the limit %d", len(req.Targets), MaxBatchTargets))
 		return
 	}
 	targets := make([]int, len(req.Targets))
 	for i, label := range req.Targets {
 		if targets[i], err = s.vertexOf(label); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeRequestError(w, r.Context(), err)
 			return
 		}
 	}
@@ -285,9 +326,9 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Concurrency: req.Concurrency,
 	}
 	start := time.Now()
-	results, err := s.e.EstimateBatch(targets, opts)
+	results, err := s.e.EstimateBatchContext(r.Context(), targets, opts)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
 	resp := BatchResponse{
@@ -297,30 +338,30 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, br := range results {
 		resp.Results[i] = toResponse(s.labelFor(br.Target), SeedFor(req.Seed, br.Target), br.Estimate)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleExact(w http.ResponseWriter, r *http.Request) {
 	label, err := strconv.ParseInt(r.PathValue("v"), 10, 64)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q", r.PathValue("v")))
+		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q", r.PathValue("v")))
 		return
 	}
 	v, err := s.vertexOf(label)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
-	bc, err := s.e.ExactBCOf(v)
+	bc, err := s.e.ExactBCOfContext(r.Context(), v)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeRequestError(w, r.Context(), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ExactResponse{Vertex: label, BC: bc})
+	WriteJSON(w, http.StatusOK, ExactResponse{Vertex: label, BC: bc})
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	WriteJSON(w, http.StatusOK, StatsResponse{
 		N:     s.e.Graph().N(),
 		M:     s.e.Graph().M(),
 		Stats: s.e.Stats(),

@@ -73,7 +73,7 @@ func TestServerEstimate(t *testing.T) {
 func TestServerEstimateErrors(t *testing.T) {
 	_, srv := newKarateServer(t)
 	var errResp map[string]string
-	if code := postJSON(t, srv.URL+"/estimate", EstimateRequest{Vertex: 99}, &errResp); code != http.StatusBadRequest {
+	if code := postJSON(t, srv.URL+"/estimate", EstimateRequest{Vertex: 99}, &errResp); code != http.StatusNotFound {
 		t.Fatalf("out-of-range vertex: status %d", code)
 	}
 	if errResp["error"] == "" {
@@ -172,7 +172,7 @@ func TestServerStats(t *testing.T) {
 func TestServerExactErrors(t *testing.T) {
 	_, srv := newKarateServer(t)
 	var errResp map[string]string
-	if code := getJSON(t, srv.URL+"/exact/99", &errResp); code != http.StatusBadRequest {
+	if code := getJSON(t, srv.URL+"/exact/99", &errResp); code != http.StatusNotFound {
 		t.Fatalf("out-of-range: status %d", code)
 	}
 	if code := getJSON(t, srv.URL+"/exact/zzz", &errResp); code != http.StatusBadRequest {
@@ -227,11 +227,12 @@ func TestServerWithLabels(t *testing.T) {
 	}
 
 	// Engine id 0 is not a known label here; nor is an arbitrary one.
+	// Unknown labels are 404s: the resource (the vertex) does not exist.
 	var errResp map[string]string
-	if code := getJSON(t, srv.URL+"/exact/0", &errResp); code != http.StatusBadRequest {
+	if code := getJSON(t, srv.URL+"/exact/0", &errResp); code != http.StatusNotFound {
 		t.Fatalf("unknown label accepted: status %d", code)
 	}
-	if code := postJSON(t, srv.URL+"/estimate", EstimateRequest{Vertex: 7}, &errResp); code != http.StatusBadRequest {
+	if code := postJSON(t, srv.URL+"/estimate", EstimateRequest{Vertex: 7}, &errResp); code != http.StatusNotFound {
 		t.Fatalf("unknown label accepted: status %d", code)
 	}
 }

@@ -70,7 +70,10 @@ func ReadEdgeList(rd io.Reader) (*Graph, []int64, error) {
 		edges = append(edges, edge{intern(u), intern(v), w})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("graph: reading edge list: %v", err)
+		// %w: callers distinguish transport failures (e.g.
+		// http.MaxBytesError from a capped upload body) from syntax
+		// errors.
+		return nil, nil, fmt.Errorf("graph: reading edge list: %w", err)
 	}
 	b := NewBuilder(len(idOf))
 	for _, e := range edges {

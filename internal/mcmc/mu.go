@@ -1,6 +1,7 @@
 package mcmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -76,15 +77,31 @@ func MuExact(g *graph.Graph, r int) (MuStats, error) {
 // vice versa). A nil pool — or a graph on the Brandes route — computes
 // standalone.
 func MuExactPooled(g *graph.Graph, r int, pool *BufferPool) (MuStats, error) {
+	return MuExactPooledContext(context.Background(), g, r, pool)
+}
+
+// MuExactPooledContext is MuExactPooled under a context: the O(nm)
+// column computation polls ctx between source traversals and aborts
+// with ctx's error, so a lifecycle-scoped μ derivation (e.g. one owned
+// by an evicted serving session) stops within one traversal per worker.
+func MuExactPooledContext(ctx context.Context, g *graph.Graph, r int, pool *BufferPool) (MuStats, error) {
 	if r < 0 || r >= g.N() {
 		return MuStats{}, fmt.Errorf("mcmc: MuExact target %d out of range", r)
 	}
 	if pool != nil {
 		if ts := pool.targetSPD(r); ts != nil {
-			return MuFromDeps(brandes.DependencyVectorWithTarget(g, ts, 0)), nil
+			deps, err := brandes.DependencyVectorWithTargetContext(ctx, g, ts, 0)
+			if err != nil {
+				return MuStats{}, err
+			}
+			return MuFromDeps(deps), nil
 		}
 	}
-	return MuFromDeps(brandes.DependencyVector(g, r)), nil
+	deps, err := brandes.DependencyVectorParallelContext(ctx, g, r, 0)
+	if err != nil {
+		return MuStats{}, err
+	}
+	return MuFromDeps(deps), nil
 }
 
 // PlanSteps returns the chain length prescribed by Eq. 14 (and Eq. 27)

@@ -1,6 +1,7 @@
 package mcmc
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -182,7 +183,10 @@ func TestChainBitIdenticalWhereExact(t *testing.T) {
 		cfg.TraceEvery = 100
 		runWith := func(o *Oracle) Result {
 			b := newChainBuffers(tc.g)
-			res := runSingleChain(tc.g, o, cfg, rng.New(97), b, nil)
+			res, err := runSingleChain(context.Background(), tc.g, o, cfg, rng.New(97), b, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
 			res.Evals = o.Evals
 			res.CacheHits = o.Hits
 			return res

@@ -1,6 +1,7 @@
 package mcmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -41,6 +42,15 @@ func EstimateBCParallel(g *graph.Graph, r int, cfg Config, seed uint64, chains i
 // estimates are bit-identical to the unpooled variant: buffer reuse
 // changes where scratch memory lives, never what the chain computes.
 func EstimateBCParallelPooled(g *graph.Graph, r int, cfg Config, seed uint64, chains int, pool *BufferPool) (MultiResult, error) {
+	return EstimateBCParallelPooledContext(context.Background(), g, r, cfg, seed, chains, pool)
+}
+
+// EstimateBCParallelPooledContext is EstimateBCParallelPooled under a
+// context: every chain's step loop polls ctx (see
+// EstimateBCPooledContext), so one cancellation aborts all chains
+// promptly instead of letting each run to its full step budget. A run
+// that completes is bit-identical to the context-free variant.
+func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int, cfg Config, seed uint64, chains int, pool *BufferPool) (MultiResult, error) {
 	if chains <= 0 {
 		return MultiResult{}, fmt.Errorf("mcmc: chains must be positive, got %d", chains)
 	}
@@ -95,7 +105,11 @@ func EstimateBCParallelPooled(g *graph.Graph, r int, cfg Config, seed uint64, ch
 				errs[i] = err
 				return
 			}
-			res := runSingleChain(g, oracle, cfg, chainRNG, b, degAlias)
+			res, err := runSingleChain(ctx, g, oracle, cfg, chainRNG, b, degAlias)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 			res.Evals = oracle.Evals
 			res.CacheHits = oracle.Hits
 			results[i] = res

@@ -1,12 +1,21 @@
 package mcmc
 
 import (
+	"context"
 	"fmt"
 
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
 	"bcmh/internal/sssp"
 )
+
+// cancelCheckInterval is how many chain steps pass between context
+// cancellation checks inside the step loop. Memo-hit steps cost a few
+// nanoseconds, so checking every step would be measurable; the loop
+// additionally checks after every full dependency evaluation (memo
+// miss), whose BFS dwarfs the check, so the abort latency is bounded
+// by max(256 memo-hit steps, one dependency evaluation).
+const cancelCheckInterval = 256
 
 // EstimatorKind selects which estimate a Result reports as its primary
 // Estimate. All variants are computed on every run (they share the
@@ -166,6 +175,17 @@ func EstimateBC(g *graph.Graph, r int, cfg Config, rnd *rng.RNG) (Result, error)
 // front-ends (internal/engine) use so concurrent chains stop paying
 // O(n) allocations per run. A nil pool allocates as EstimateBC does.
 func EstimateBCPooled(g *graph.Graph, r int, cfg Config, rnd *rng.RNG, pool *BufferPool) (Result, error) {
+	return EstimateBCPooledContext(context.Background(), g, r, cfg, rnd, pool)
+}
+
+// EstimateBCPooledContext is EstimateBCPooled under a context: the chain
+// step loop checks ctx every cancelCheckInterval steps and aborts with
+// ctx's error when it is cancelled or past its deadline, so a
+// disconnected client or an evicted serving session stops paying for
+// traversals it no longer wants. A run that completes is bit-identical
+// to EstimateBCPooled — the cancellation check reads the context, never
+// the chain state.
+func EstimateBCPooledContext(ctx context.Context, g *graph.Graph, r int, cfg Config, rnd *rng.RNG, pool *BufferPool) (Result, error) {
 	n := g.N()
 	if n < 2 {
 		return Result{}, fmt.Errorf("mcmc: graph too small (n=%d)", n)
@@ -199,10 +219,10 @@ func EstimateBCPooled(g *graph.Graph, r int, cfg Config, rnd *rng.RNG, pool *Buf
 			degAlias = degreeAliasFor(g)
 		}
 	}
-	res := runSingleChain(g, oracle, cfg, rnd, b, degAlias)
+	res, err := runSingleChain(ctx, g, oracle, cfg, rnd, b, degAlias)
 	res.Evals = oracle.Evals
 	res.CacheHits = oracle.Hits
-	return res, nil
+	return res, err
 }
 
 // f(v) = δ_v•(r)/(n-1): the paper's per-state statistic, ∈ [0,1).
@@ -231,9 +251,22 @@ func acceptMH(depCur, depNew, hastings float64, rnd *rng.RNG) bool {
 // chain's visited set lives in b's epoch-stamped array; degAlias, when
 // non-nil, is the (possibly pool-cached) degree-proposal table for g
 // (built locally when cfg.DegreeProposal is set and none was passed).
-func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG, b *chainBuffers, degAlias *rng.Alias) Result {
+// The loop polls ctx every cancelCheckInterval steps; on cancellation
+// it returns the partial Result (for work accounting) together with
+// ctx's error.
+func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG, b *chainBuffers, degAlias *rng.Alias) (Result, error) {
 	n := g.N()
 	var res Result
+
+	// A context that can never be cancelled (context.Background and
+	// friends) has a nil Done channel; skip the per-step polling
+	// entirely for those.
+	cancellable := ctx.Done() != nil
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+	}
 
 	// Degree-weighted proposals (ablation T8b): g(v) = deg(v)/2m; the
 	// Hastings factor for the acceptance of v→v' is g(v)/g(v') =
@@ -330,9 +363,25 @@ func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG, b 
 		}
 	}
 
+	evalsSeen := oracle.Evals
 	for t := 1; t <= cfg.Steps; t++ {
+		if cancellable && t%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		prop := propose()
 		depNew := oracle.Dep(prop)
+		// A memo miss just paid a full traversal; re-check the context
+		// so a chain stuck in cold-cache evaluations (memo disabled, or
+		// a large state space early in the run) aborts within one
+		// evaluation instead of cancelCheckInterval of them.
+		if cancellable && oracle.Evals != evalsSeen {
+			evalsSeen = oracle.Evals
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+		}
 		if depNew > res.MaxDepSeen {
 			res.MaxDepSeen = depNew
 		}
@@ -373,5 +422,5 @@ func runSingleChain(g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG, b 
 	if propCount > 0 {
 		res.MeanDepProposal = depPropSum / float64(propCount)
 	}
-	return res
+	return res, nil
 }

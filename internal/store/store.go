@@ -1,0 +1,582 @@
+// Package store is the multi-tenant graph layer of the serving stack:
+// where internal/engine binds one prepared graph to one set of shared
+// caches, a Store manages many named graph *sessions* — created from
+// uploaded edge lists, listed, fetched, and deleted over a management
+// API — under one bounded memory budget.
+//
+// Each session owns a full engine.Engine (μ-cache, result LRU, buffer
+// pools, target-snapshot cache), the label table mapping input-file
+// vertex ids to engine ids, and a session-scoped context. The store
+// enforces:
+//
+//   - a total memory budget: when the estimated resident cost of all
+//     sessions exceeds Config.MaxBytes (or their count exceeds
+//     Config.MaxSessions), least-recently-used *idle* sessions are
+//     evicted — pinned sessions (preloaded at server startup) and
+//     sessions with requests in flight are never touched;
+//   - creation singleflight: concurrent uploads of the same session id
+//     share one parse + engine build, so a retrying client cannot
+//     stampede the store into building the same graph twice;
+//   - lifecycle-coupled cancellation: deleting a session (or closing
+//     the store) cancels its context with ErrSessionClosed as the
+//     cause, which aborts every in-flight chain on that session via the
+//     context threading in internal/mcmc — an evicted graph stops
+//     consuming CPU immediately, not after MaxSteps more traversals.
+//
+// server.go wraps a Store in the /graphs HTTP management API and mounts
+// each session's estimation routes beneath /graphs/{id}/, with the
+// legacy single-graph routes aliased to a designated default session.
+package store
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bcmh/internal/engine"
+	"bcmh/internal/graph"
+)
+
+// Sentinel errors of the session lifecycle; the HTTP layer maps each to
+// a pinned status code.
+var (
+	// ErrNotFound: no session with the requested id (404).
+	ErrNotFound = errors.New("store: graph session not found")
+	// ErrExists: a session with this id already exists (409).
+	ErrExists = errors.New("store: graph session already exists")
+	// ErrTooLarge: the uploaded graph alone exceeds the store's memory
+	// budget and can never be resident (413).
+	ErrTooLarge = errors.New("store: graph exceeds the store memory budget")
+	// ErrStoreClosed: the store has shut down (503).
+	ErrStoreClosed = errors.New("store: store is closed")
+	// ErrSessionClosed is the cancellation cause installed on a
+	// session's context when the session is deleted, evicted, or the
+	// store closes. In-flight estimates on that session abort with a
+	// context error whose context.Cause is this value (503).
+	ErrSessionClosed = errors.New("store: graph session closed")
+)
+
+// Defaults for the zero Config.
+const (
+	// DefaultMaxBytes bounds the estimated resident cost of all
+	// sessions: 1 GiB.
+	DefaultMaxBytes = int64(1) << 30
+	// DefaultMaxSessions bounds the number of resident sessions.
+	DefaultMaxSessions = 64
+)
+
+// idPattern constrains session ids so they embed cleanly in URL paths
+// and filenames.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Config tunes a Store.
+type Config struct {
+	// MaxBytes bounds the summed estimated cost of resident sessions
+	// (see Session.Cost). Zero means DefaultMaxBytes.
+	MaxBytes int64
+	// MaxSessions bounds the number of resident sessions. Zero means
+	// DefaultMaxSessions.
+	MaxSessions int
+	// ResultCacheSize is passed to each session's engine.Config.
+	ResultCacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = DefaultMaxBytes
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	return c
+}
+
+// Store manages named graph sessions under one memory budget. Safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*list.Element // values: *list.Element of lru
+	lru      *list.List               // front = most recently used; values *Session
+	building map[string]*buildCall    // creation singleflight, keyed by id
+	total    int64                    // Σ Session.Cost over resident sessions
+	closed   bool
+
+	evictions atomic.Uint64
+	builds    atomic.Uint64
+}
+
+// buildCall is one in-flight session creation; concurrent Create calls
+// for the same id block on done and share sess/err.
+type buildCall struct {
+	done chan struct{}
+	sess *Session
+	err  error
+}
+
+// New returns an empty store.
+func New(cfg Config) *Store {
+	return &Store{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*list.Element),
+		lru:      list.New(),
+		building: make(map[string]*buildCall),
+	}
+}
+
+// Session is one resident graph with its engine and serving state. All
+// methods are safe for concurrent use.
+type Session struct {
+	id      string
+	eng     *engine.Engine
+	labels  []int64 // engine vertex -> input label (nil: identity)
+	cost    int64
+	pinned  bool
+	created time.Time
+
+	ctx    context.Context // cancelled with cause ErrSessionClosed on close
+	cancel context.CancelCauseFunc
+
+	active   atomic.Int64 // in-flight request count; evictable only at 0
+	lastUsed atomic.Int64 // unix nanos of the latest Get/Acquire/release
+
+	handlerOnce sync.Once // lazy per-session HTTP handler (server.go)
+	handler     httpHandler
+}
+
+// ID returns the session's store id.
+func (s *Session) ID() string { return s.id }
+
+// Engine returns the session's estimation engine.
+func (s *Session) Engine() *engine.Engine { return s.eng }
+
+// Labels returns the engine-vertex → input-label table (nil when the
+// session was created from an in-memory graph without labels). Not a
+// copy; do not modify.
+func (s *Session) Labels() []int64 { return s.labels }
+
+// Cost is the session's estimated resident memory in bytes, the value
+// the store's budget accounting uses. It is a deliberate proxy — CSR
+// arrays, label tables, and a fixed allowance for the engine's caches —
+// not a measurement.
+func (s *Session) Cost() int64 { return s.cost }
+
+// Pinned reports whether the session is exempt from LRU eviction
+// (sessions preloaded at server startup are).
+func (s *Session) Pinned() bool { return s.pinned }
+
+// CreatedAt returns the session creation time.
+func (s *Session) CreatedAt() time.Time { return s.created }
+
+// LastUsed returns the time of the session's most recent use.
+func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) }
+
+// Context returns the session-scoped context: cancelled, with
+// ErrSessionClosed as the cause, when the session is deleted or evicted
+// or the store closes. Estimates on the session should run under a
+// context derived from both this and the request's own context — see
+// RequestContext.
+func (s *Session) Context() context.Context { return s.ctx }
+
+// Closed reports whether the session has been deleted or evicted.
+func (s *Session) Closed() bool { return s.ctx.Err() != nil }
+
+// RequestContext derives a context for serving one request on this
+// session: it is cancelled when either the request's own ctx or the
+// session's lifecycle context is cancelled, and it preserves the
+// session's cancellation cause (ErrSessionClosed) so the HTTP layer can
+// distinguish "client hung up" (499) from "session was closed under the
+// request" (503). The returned stop function must be called when the
+// request finishes to release the coupling.
+func (s *Session) RequestContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	rctx, cancel := context.WithCancelCause(ctx)
+	stop := context.AfterFunc(s.ctx, func() {
+		cancel(context.Cause(s.ctx))
+	})
+	return rctx, func() {
+		stop()
+		cancel(context.Canceled)
+	}
+}
+
+// sessionCost estimates the resident bytes of a session over a prepared
+// graph with n vertices and m undirected edges: the CSR adjacency
+// (two int32-ish endpoints per directed arc plus offsets), the label
+// and mapping tables, and a flat allowance for the engine's μ-cache,
+// result LRU, pooled buffers, and target-snapshot cache (all O(n) per
+// entry, bounded counts).
+func sessionCost(n, m int) int64 {
+	return 64*int64(n) + 32*int64(m) + 1<<16
+}
+
+// touch updates recency under the store lock.
+func (st *Store) touch(el *list.Element) {
+	st.lru.MoveToFront(el)
+	el.Value.(*Session).lastUsed.Store(time.Now().UnixNano())
+}
+
+// Create parses an edge list from r and creates a session named id over
+// it. Concurrent Create calls with the same id share one parse and
+// engine build and all receive the same session (uploads racing on one
+// id are assumed to carry the same graph). An id that is already
+// resident fails with ErrExists; a graph whose estimated cost alone
+// exceeds the store budget fails with ErrTooLarge. Creating a new
+// session may evict idle unpinned sessions (LRU first) to make room.
+func (st *Store) Create(id string, r io.Reader) (*Session, error) {
+	if err := CheckID(id); err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	if _, ok := st.sessions[id]; ok {
+		st.mu.Unlock()
+		return nil, ErrExists
+	}
+	if bc, ok := st.building[id]; ok {
+		// Singleflight: ride the in-flight build.
+		st.mu.Unlock()
+		<-bc.done
+		return bc.sess, bc.err
+	}
+	bc := &buildCall{done: make(chan struct{})}
+	st.building[id] = bc
+	st.mu.Unlock()
+
+	bc.sess, bc.err = st.build(id, r)
+
+	st.mu.Lock()
+	delete(st.building, id)
+	if bc.err == nil {
+		// The store may have closed while the build ran unlocked;
+		// inserting then would leave an unevictable session with a
+		// live context in a closed store.
+		if st.closed {
+			bc.err = ErrStoreClosed
+		} else {
+			bc.err = st.insertLocked(bc.sess)
+		}
+		if bc.err != nil {
+			bc.sess.cancel(ErrSessionClosed)
+			bc.sess = nil
+		}
+	}
+	st.mu.Unlock()
+	close(bc.done)
+	return bc.sess, bc.err
+}
+
+// build parses and prepares a session outside the store lock.
+func (st *Store) build(id string, r io.Reader) (*Session, error) {
+	g, idOf, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return st.newSession(id, g, idOf, false)
+}
+
+// CreateFromGraph creates a session directly from an in-memory graph,
+// bypassing the edge-list parse: the path server startup preloads take.
+// idOf, when non-nil, maps the raw graph's vertex ids to input labels
+// (as returned by graph.ReadEdgeList). Pinned sessions are exempt from
+// LRU eviction.
+func (st *Store) CreateFromGraph(id string, g *graph.Graph, idOf []int64, pinned bool) (*Session, error) {
+	if err := CheckID(id); err != nil {
+		return nil, err
+	}
+	sess, err := st.newSession(id, g, idOf, pinned)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		sess.cancel(ErrSessionClosed)
+		return nil, ErrStoreClosed
+	}
+	if err := st.insertLocked(sess); err != nil {
+		sess.cancel(ErrSessionClosed)
+		return nil, err
+	}
+	return sess, nil
+}
+
+// CheckID validates a session id against the store id alphabet (the
+// rules idPattern encodes). Exported so front-ends deriving ids (e.g.
+// bcserve from -in file names) validate against the one authority.
+func CheckID(id string) error {
+	if !idPattern.MatchString(id) {
+		return fmt.Errorf("store: invalid session id %q (want 1-64 of [A-Za-z0-9._-], starting alphanumeric)", id)
+	}
+	return nil
+}
+
+// newSession builds the engine and session shell (no store insertion).
+func (st *Store) newSession(id string, g *graph.Graph, idOf []int64, pinned bool) (*Session, error) {
+	st.builds.Add(1)
+	// The lifecycle context exists before the engine so the engine's
+	// background work (detached μ computations) dies with the session.
+	ctx, cancel := context.WithCancelCause(context.Background())
+	eng, err := engine.NewWithConfig(g, engine.Config{
+		ResultCacheSize: st.cfg.ResultCacheSize,
+		Lifecycle:       ctx,
+	})
+	if err != nil {
+		cancel(ErrSessionClosed)
+		return nil, fmt.Errorf("store: preparing graph %q: %w", id, err)
+	}
+	prepared := eng.Graph()
+	cost := sessionCost(prepared.N(), prepared.M())
+	if cost > st.cfg.MaxBytes {
+		cancel(ErrSessionClosed)
+		return nil, fmt.Errorf("%w: session %q needs ~%d bytes, budget is %d", ErrTooLarge, id, cost, st.cfg.MaxBytes)
+	}
+	now := time.Now()
+	sess := &Session{
+		id:      id,
+		eng:     eng,
+		labels:  composeLabels(eng, idOf),
+		cost:    cost,
+		pinned:  pinned,
+		created: now,
+		ctx:     ctx,
+		cancel:  cancel,
+	}
+	sess.lastUsed.Store(now.UnixNano())
+	return sess, nil
+}
+
+// composeLabels folds the engine's largest-component mapping into the
+// edge-list label table: labels[v] is the input-file label of engine
+// vertex v. A nil idOf (in-memory graph) yields nil — requests then
+// address raw engine ids.
+func composeLabels(eng *engine.Engine, idOf []int64) []int64 {
+	if idOf == nil {
+		return nil
+	}
+	labels := make([]int64, eng.Graph().N())
+	mapping := eng.Mapping()
+	for v := range labels {
+		rawV := v
+		if mapping != nil {
+			rawV = mapping[v]
+		}
+		labels[v] = idOf[rawV]
+	}
+	return labels
+}
+
+// insertLocked registers a built session and evicts over budget.
+// Caller holds st.mu.
+func (st *Store) insertLocked(sess *Session) error {
+	if _, ok := st.sessions[sess.id]; ok {
+		return ErrExists
+	}
+	el := st.lru.PushFront(sess)
+	st.sessions[sess.id] = el
+	st.total += sess.cost
+	st.evictLocked(sess)
+	return nil
+}
+
+// evictLocked walks the LRU tail evicting idle, unpinned sessions
+// (never `keep`) until the store is back under both budgets or nothing
+// more can go. Sessions with requests in flight are skipped — evicting
+// would abort traffic the budget pressure didn't come from; the budget
+// is soft in exactly that case and re-checked on the next insertion.
+func (st *Store) evictLocked(keep *Session) {
+	over := func() bool {
+		return st.total > st.cfg.MaxBytes || st.lru.Len() > st.cfg.MaxSessions
+	}
+	el := st.lru.Back()
+	for over() && el != nil {
+		prev := el.Prev()
+		sess := el.Value.(*Session)
+		if sess != keep && !sess.pinned && sess.active.Load() == 0 {
+			st.removeLocked(el, sess)
+			st.evictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// removeLocked unregisters a session and cancels its context. Caller
+// holds st.mu.
+func (st *Store) removeLocked(el *list.Element, sess *Session) {
+	st.lru.Remove(el)
+	delete(st.sessions, sess.id)
+	st.total -= sess.cost
+	sess.cancel(ErrSessionClosed)
+}
+
+// Get returns the session named id, bumping its recency. The caller
+// must not hold the session across slow work if it wants eviction
+// protection — use Acquire for serving requests.
+func (st *Store) Get(id string) (*Session, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil, ErrStoreClosed
+	}
+	el, ok := st.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	st.touch(el)
+	return el.Value.(*Session), nil
+}
+
+// Acquire is Get plus an in-flight reservation: until the returned
+// release function is called, the session cannot be evicted by the
+// memory budget (explicit Delete still closes it, aborting the work —
+// that is the point of lifecycle cancellation). Every serving request
+// runs between Acquire and release.
+func (st *Store) Acquire(id string) (*Session, func(), error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, nil, ErrStoreClosed
+	}
+	el, ok := st.sessions[id]
+	if !ok {
+		st.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	st.touch(el)
+	sess := el.Value.(*Session)
+	sess.active.Add(1)
+	st.mu.Unlock()
+	var once sync.Once
+	release := func() {
+		once.Do(func() {
+			sess.active.Add(-1)
+			// Re-bump recency at completion time, not just at Acquire:
+			// a session that just finished a long request is the most
+			// recently used one, and eviction walks the list order.
+			st.mu.Lock()
+			if cur, ok := st.sessions[sess.id]; ok && cur.Value.(*Session) == sess {
+				st.touch(cur)
+			} else {
+				sess.lastUsed.Store(time.Now().UnixNano())
+			}
+			st.mu.Unlock()
+		})
+	}
+	return sess, release, nil
+}
+
+// Delete removes the session named id and cancels its context with
+// cause ErrSessionClosed, aborting its in-flight estimates promptly.
+func (st *Store) Delete(id string) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrStoreClosed
+	}
+	el, ok := st.sessions[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	st.removeLocked(el, el.Value.(*Session))
+	return nil
+}
+
+// Info is a point-in-time description of one session, JSON-shaped for
+// the management API.
+type Info struct {
+	ID       string    `json:"id"`
+	N        int       `json:"n"`
+	M        int       `json:"m"`
+	Bytes    int64     `json:"bytes"`
+	Pinned   bool      `json:"pinned"`
+	Active   int64     `json:"active"`
+	Created  time.Time `json:"created"`
+	LastUsed time.Time `json:"last_used"`
+}
+
+func (s *Session) info() Info {
+	g := s.eng.Graph()
+	return Info{
+		ID:       s.id,
+		N:        g.N(),
+		M:        g.M(),
+		Bytes:    s.cost,
+		Pinned:   s.pinned,
+		Active:   s.active.Load(),
+		Created:  s.created,
+		LastUsed: s.LastUsed(),
+	}
+}
+
+// List describes every resident session, sorted by id.
+func (st *Store) List() []Info {
+	st.mu.Lock()
+	out := make([]Info, 0, st.lru.Len())
+	for el := st.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Session).info())
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats is the store-level counter snapshot.
+type Stats struct {
+	Sessions    int    `json:"sessions"`
+	TotalBytes  int64  `json:"total_bytes"`
+	MaxBytes    int64  `json:"max_bytes"`
+	MaxSessions int    `json:"max_sessions"`
+	Evictions   uint64 `json:"evictions"`
+	// Builds counts session constructions (graph prepare + engine
+	// build). Concurrent uploads of one id share a build, so this stays
+	// below the number of Create calls under duplicate-upload races.
+	Builds uint64 `json:"builds"`
+}
+
+// Stats returns the store-level counters.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Stats{
+		Sessions:    st.lru.Len(),
+		TotalBytes:  st.total,
+		MaxBytes:    st.cfg.MaxBytes,
+		MaxSessions: st.cfg.MaxSessions,
+		Evictions:   st.evictions.Load(),
+		Builds:      st.builds.Load(),
+	}
+}
+
+// Len returns the number of resident sessions.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}
+
+// Close deletes every session (cancelling their contexts, so all
+// in-flight work aborts) and marks the store closed; subsequent calls
+// fail with ErrStoreClosed. Idempotent.
+func (st *Store) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	for el := st.lru.Front(); el != nil; {
+		next := el.Next()
+		st.removeLocked(el, el.Value.(*Session))
+		el = next
+	}
+}

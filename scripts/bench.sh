@@ -5,22 +5,51 @@
 #
 # Usage:
 #   scripts/bench.sh                 # default benchmark set, 3×2s each
+#   scripts/bench.sh compare         # fresh run vs latest committed
+#                                    # BENCH_*.json; exit 1 on >15%
+#                                    # regression of any benchmark
 #   BENCH='T2|Engine' scripts/bench.sh
 #   COUNT=5 BENCHTIME=5s OUT=/tmp/b.json scripts/bench.sh
+#   THRESHOLD_PCT=25 scripts/bench.sh compare
 #
 # The JSON records, per benchmark, the best (minimum) ns/op over COUNT
 # runs — the most repeatable point estimate on a noisy machine — plus
-# every individual run for spread inspection.
+# every individual run for spread inspection. Compare mode diffs the
+# best-of-COUNT numbers: only benchmarks present in both files are
+# compared, improvements are reported but never fail the run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+MODE=${1:-record}
 
 BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkSequentialBatch32'}
 BENCHTIME=${BENCHTIME:-2s}
 COUNT=${COUNT:-3}
-OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
+THRESHOLD_PCT=${THRESHOLD_PCT:-15}
+
+case "$MODE" in
+record)
+    OUT=${OUT:-BENCH_$(date +%Y-%m-%d).json}
+    ;;
+compare)
+    # Baseline: the newest committed BENCH_*.json (date-stamped names
+    # sort chronologically).
+    BASELINE=$(git ls-files 'BENCH_*.json' | sort | tail -n 1)
+    if [ -z "$BASELINE" ]; then
+        echo "bench.sh compare: no committed BENCH_*.json baseline found" >&2
+        exit 2
+    fi
+    OUT=$(mktemp --suffix=.json)
+    CLEAN_OUT=$OUT
+    ;;
+*)
+    echo "bench.sh: unknown mode '$MODE' (want nothing or 'compare')" >&2
+    exit 2
+    ;;
+esac
 
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+trap 'rm -f "$TMP" ${CLEAN_OUT:-}' EXIT
 
 echo "running: go test -run '^$' -bench '$BENCH' -benchtime $BENCHTIME -count $COUNT ." >&2
 go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TMP" >&2
@@ -55,3 +84,49 @@ END {
 }' "$TMP" > "$OUT"
 
 echo "wrote $OUT" >&2
+
+if [ "$MODE" = compare ]; then
+    echo "comparing against $BASELINE (threshold ${THRESHOLD_PCT}%)" >&2
+    # Both files are this script's own output, so the per-benchmark
+    # lines have the fixed shape:  "Name": {"best_ns_per_op": N, ...
+    extract() {
+        awk -F'"' '/"best_ns_per_op"/ {
+            name = $2
+            line = $0
+            sub(/.*"best_ns_per_op": */, "", line)
+            sub(/[,}].*/, "", line)
+            print name, line
+        }' "$1"
+    }
+    extract "$BASELINE" > "$TMP.base"
+    extract "$OUT" > "$TMP.fresh"
+    RESULT=0
+    FOUND=0
+    while read -r name fresh; do
+        base=$(awk -v n="$name" '$1 == n {print $2}' "$TMP.base")
+        if [ -z "$base" ]; then
+            echo "  $name: no baseline entry, skipped" >&2
+            continue
+        fi
+        FOUND=1
+        # Integer-safe percent delta: positive = slower than baseline.
+        delta=$(awk -v f="$fresh" -v b="$base" 'BEGIN { printf "%.1f", (f - b) / b * 100 }')
+        verdict=ok
+        if awk -v f="$fresh" -v b="$base" -v t="$THRESHOLD_PCT" \
+               'BEGIN { exit !(f > b * (1 + t / 100)) }'; then
+            verdict="REGRESSION"
+            RESULT=1
+        fi
+        printf '  %-28s base %14s ns/op  fresh %14s ns/op  %+6s%%  %s\n' \
+            "$name" "$base" "$fresh" "$delta" "$verdict" >&2
+    done < "$TMP.fresh"
+    rm -f "$TMP.base" "$TMP.fresh"
+    if [ "$FOUND" = 0 ]; then
+        echo "bench.sh compare: no common benchmarks between run and baseline" >&2
+        exit 2
+    fi
+    if [ "$RESULT" -ne 0 ]; then
+        echo "bench.sh compare: regression beyond ${THRESHOLD_PCT}% detected" >&2
+    fi
+    exit "$RESULT"
+fi
