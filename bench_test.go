@@ -5,6 +5,7 @@
 package bcmh_test
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"bcmh/internal/exp"
 	"bcmh/internal/graph"
 	"bcmh/internal/mcmc"
+	"bcmh/internal/rank"
 	"bcmh/internal/rng"
 	"bcmh/internal/sampler"
 )
@@ -324,6 +326,52 @@ func BenchmarkSequentialBatch32(b *testing.B) {
 			if _, err := core.EstimateBC(fixBA, r, opts); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// rankFixtures builds the whole-graph ranking workload: a 400-vertex
+// scale-free graph small enough that the exact top-5 is known from
+// TestProgressiveBeatsUniform (internal/rank), plus a shared pool so
+// both allocation strategies reuse the same target snapshots.
+var (
+	rankOnce sync.Once
+	rankBA   *graph.Graph
+	rankPool *mcmc.BufferPool
+)
+
+func rankFixtures() {
+	rankOnce.Do(func() {
+		rankBA = graph.BarabasiAlbert(400, 3, rng.New(31))
+		rankPool = mcmc.NewBufferPool(rankBA)
+	})
+}
+
+// BenchmarkRankProgressiveTop5 measures one whole-graph progressive
+// top-5 ranking (internal/rank defaults): short chains everywhere,
+// then confidence-interval pruning reallocates the budget to the
+// contenders. Recovers the exact top-5 set in ~560k MH steps.
+func BenchmarkRankProgressiveTop5(b *testing.B) {
+	rankFixtures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.Run(context.Background(), rankBA, rankPool, rank.Options{K: 5, Seed: 1}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRankUniformTop5 is the allocation baseline at matched
+// accuracy: the cheapest uniform per-candidate budget that recovers
+// the same exact top-5 set (2048 steps × 400 candidates = ~819k MH
+// steps, per TestProgressiveBeatsUniform) — ~1.5x the progressive
+// ranker's step count.
+func BenchmarkRankUniformTop5(b *testing.B) {
+	rankFixtures()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rank.Uniform(context.Background(), rankBA, rankPool, 5, 2048, rank.Options{Seed: 1}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

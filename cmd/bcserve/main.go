@@ -8,6 +8,7 @@
 //	bcserve -addr :8080                          # empty store, upload-only
 //	bcserve -in net.txt                          # one graph, aliased to /estimate etc.
 //	bcserve -in web=web.txt -in road=road.txt    # many named graphs
+//	bcserve rank -in net.txt -k 10               # offline top-k ranking (no server)
 //
 // Endpoints (see internal/store.NewServer for the full reference):
 //
@@ -19,6 +20,8 @@
 //	POST   /graphs/{id}/estimate/batch {"targets": [3, 9, 3], "seed": 7}
 //	GET    /graphs/{id}/exact/3
 //	GET    /graphs/{id}/stats
+//	POST   /graphs/{id}/rank           {"k": 10, "seed": 7} → 202 + job (or 200 inline)
+//	GET    /jobs, GET /jobs/{id}, DELETE /jobs/{id}
 //
 // The single-graph routes of earlier versions (POST /estimate,
 // POST /estimate/batch, GET /exact/{v}, GET /stats) remain as aliases
@@ -29,7 +32,15 @@
 // dropped with smaller components are rejected with an explanatory
 // error). On SIGINT/SIGTERM the server drains: no new connections,
 // in-flight requests get -drain to finish, then every session is
-// closed, aborting whatever chains are still running.
+// closed, aborting whatever chains are still running — ranking jobs
+// included, since they run under their session's lifecycle context.
+//
+// The `rank` subcommand runs the same progressive-refinement top-k
+// ranker (internal/rank) directly on an edge-list file and prints the
+// ranking — no server, ^C aborts cleanly:
+//
+//	bcserve rank -in net.txt -k 10 -seed 7
+//	bcserve rank -in net.txt -k 5 -exact      # also print exact top-k + overlap
 package main
 
 import (
@@ -39,14 +50,18 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
+	"bcmh/internal/core"
 	"bcmh/internal/engine"
 	"bcmh/internal/graph"
+	"bcmh/internal/rank"
+	"bcmh/internal/stats"
 	"bcmh/internal/store"
 )
 
@@ -56,6 +71,12 @@ type preload struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "rank" {
+		if err := runRankCLI(os.Args[2:]); err != nil {
+			log.Fatalf("bcserve rank: %v", err)
+		}
+		return
+	}
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheSize   = flag.Int("cache", engine.DefaultCacheSize, "per-session completed-estimate LRU capacity (<0 disables)")
@@ -64,6 +85,8 @@ func main() {
 		defaultID   = flag.String("default", "", "session id the legacy single-graph routes alias (default: the first -in graph)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		maxBody     = flag.Int64("max-body", 64<<20, "request body size limit in bytes (bounds uploads)")
+		maxRankJobs = flag.Int("max-rank-jobs", 0, "maximum concurrently running ranking jobs (0: default)")
+		syncRankN   = flag.Int("rank-sync-n", 0, "graphs with at most this many vertices rank synchronously inside the request (0: only when the request asks)")
 	)
 	var preloads []preload
 	flag.Func("in", "edge-list file to preload, as `path` or `id=path` (repeatable)", func(v string) error {
@@ -112,9 +135,14 @@ func main() {
 		log.Printf("bcserve: single-graph routes alias session %q", *defaultID)
 	}
 
+	handler := store.NewServerWithOptions(st, store.ServerOptions{
+		DefaultID:   *defaultID,
+		MaxRankJobs: *maxRankJobs,
+		SyncRankN:   *syncRankN,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           http.MaxBytesHandler(store.NewServer(st, *defaultID), *maxBody),
+		Handler:           http.MaxBytesHandler(handler, *maxBody),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -158,4 +186,111 @@ func sessionIDFromPath(path string, index int) string {
 		id = fmt.Sprintf("g%d", index)
 	}
 	return id
+}
+
+// runRankCLI implements `bcserve rank`: the offline counterpart of
+// POST /graphs/{id}/rank, ranking an edge-list file's top-k vertices
+// by progressive refinement and printing the result as a table.
+func runRankCLI(args []string) error {
+	fs := flag.NewFlagSet("bcserve rank", flag.ExitOnError)
+	var (
+		in     = fs.String("in", "", "edge-list file to rank (required)")
+		k      = fs.Int("k", rank.DefaultK, "ranking size")
+		steps  = fs.Int("steps", rank.DefaultInitialSteps, "round-1 per-candidate chain steps")
+		rounds = fs.Int("rounds", rank.DefaultMaxRounds, "maximum refinement rounds")
+		growth = fs.Float64("growth", rank.DefaultGrowth, "per-round budget multiplier (≥ 1)")
+		budget = fs.Int("budget", 0, "total MH step budget over all candidates (0: unbounded)")
+		sample = fs.Int("sample", 0, "rank only this many highest-degree vertices (0: all)")
+		conc   = fs.Int("conc", 0, "worker pool width (0: GOMAXPROCS)")
+		seed   = fs.Uint64("seed", 1, "run seed (reproducible)")
+		z      = fs.Float64("z", rank.DefaultConfidence, "confidence-interval half-width multiplier")
+		estim  = fs.String("estimator", rank.EstimatorUnbiased.String(), `ranking statistic: "unbiased" or "chain-avg"`)
+		exact  = fs.Bool("exact", false, "also compute exact betweenness (O(nm) Brandes) and report the top-k overlap")
+	)
+	fs.Parse(args)
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+	raw, idOf, err := graph.ReadEdgeListFile(*in)
+	if err != nil {
+		return err
+	}
+	eng, err := engine.New(raw)
+	if err != nil {
+		return err
+	}
+	g := eng.Graph()
+	if eng.Mapping() != nil {
+		log.Printf("bcserve rank: using largest component (%d of %d vertices)", g.N(), raw.N())
+	}
+	// Compose read-time label compaction with largest-component
+	// extraction, as the store does for serving sessions.
+	labelOf := func(v int) int64 {
+		if m := eng.Mapping(); m != nil {
+			v = m[v]
+		}
+		if idOf == nil {
+			return int64(v)
+		}
+		return idOf[v]
+	}
+
+	var estimator rank.Estimator
+	switch *estim {
+	case rank.EstimatorUnbiased.String():
+		estimator = rank.EstimatorUnbiased
+	case rank.EstimatorChainAverage.String():
+		estimator = rank.EstimatorChainAverage
+	default:
+		return fmt.Errorf("unknown -estimator %q (want %q or %q)", *estim, rank.EstimatorUnbiased, rank.EstimatorChainAverage)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	opts := rank.Options{
+		K: *k, InitialSteps: *steps, Growth: *growth, MaxRounds: *rounds, TotalBudget: *budget,
+		Confidence: *z, MaxCandidates: *sample, Concurrency: *conc, Seed: *seed,
+		Estimator: estimator,
+	}
+	start := time.Now()
+	res, err := rank.Run(ctx, g, eng.Pool(), opts, func(p rank.Progress) {
+		log.Printf("bcserve rank: round %d done — %d candidates alive, %d steps spent", p.Round, p.Active, p.TotalSteps)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# top-%d of %d candidates (n=%d, m=%d) — %d rounds, %d MH steps, %d pruned, %v\n",
+		len(res.TopK), len(res.All), g.N(), g.M(), res.Rounds, res.TotalSteps, res.Pruned, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%4s %8s %12s %12s %8s\n", "rank", "vertex", "estimate", "±interval", "steps")
+	for i, e := range res.TopK {
+		fmt.Printf("%4d %8d %12.6f %12.6f %8d\n", i+1, labelOf(e.Vertex), e.Estimate, e.Upper-e.Estimate, e.Steps)
+	}
+	if *exact {
+		bc, err := core.ExactBC(g)
+		if err != nil {
+			return err
+		}
+		kk := len(res.TopK)
+		if kk > len(bc) {
+			kk = len(bc)
+		}
+		exactTop := stats.TopKIndices(bc, kk)
+		fmt.Printf("\n# exact top-%d (Brandes)\n", len(exactTop))
+		for i, v := range exactTop {
+			fmt.Printf("%4d %8d %12.6f\n", i+1, labelOf(v), bc[v])
+		}
+		inExact := make(map[int]bool, len(exactTop))
+		for _, v := range exactTop {
+			inExact[v] = true
+		}
+		hits := 0
+		for _, e := range res.TopK {
+			if inExact[e.Vertex] {
+				hits++
+			}
+		}
+		fmt.Printf("\ntop-%d overlap: %d/%d\n", len(exactTop), hits, len(exactTop))
+	}
+	return nil
 }

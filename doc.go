@@ -23,6 +23,16 @@
 //     management API, under a bounded memory budget with LRU eviction
 //     of idle sessions, creation singleflight, and session-coupled
 //     request contexts. cmd/bcserve mounts store.NewServer.
+//   - internal/rank — the whole-graph top-k workload: a
+//     progressive-refinement ranker that runs short fixed-step MH
+//     chains on every candidate, prunes candidates whose confidence
+//     interval cannot reach the top-k boundary, and reallocates the
+//     freed budget to survivors round over round, sharing the engine's
+//     buffer pool and target-snapshot cache.
+//   - internal/jobs — the async-job manager behind minutes-scale
+//     computations: job ids, live progress snapshots, retained
+//     results, bounded concurrency, and cancellation coupled to the
+//     owning session's lifecycle context.
 //   - internal/brandes, internal/sssp, internal/graph, internal/rng,
 //     internal/stats, internal/sampler — the exact-algorithm, traversal,
 //     graph, randomness, statistics, and baseline-sampler substrates.
@@ -61,6 +71,21 @@
 // to 499, a session deleted under a running request to 503, and either
 // way the chains stop traversing promptly instead of running to their
 // full step budget.
+//
+// # Top-k ranking jobs
+//
+// POST /graphs/{id}/rank starts a whole-graph top-k ranking
+// (internal/rank) as an async job: 202 with a job id, then
+// GET /jobs/{id} serves the live per-round progress (completed rounds,
+// surviving candidates, partial ranking) and, once done, the final
+// ranking; DELETE /jobs/{id} cancels. Small graphs (or requests with
+// "sync": true) run inside the request and answer 200 directly. Jobs
+// are bounded per server and run under their session's lifecycle
+// context — deleting the graph aborts its rankings promptly, with the
+// job record surviving to report the cause. The same ranker is
+// runnable offline via `bcserve rank -in <edge list>`. See README.md
+// for the knob reference and the measured progressive-vs-uniform
+// allocation win.
 //
 // Executables are under cmd/ (bcmh, bcserve, bcbench, bcexact, bcgen)
 // and runnable examples under examples/. bench_test.go in this

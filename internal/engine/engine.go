@@ -131,6 +131,13 @@ func (e *Engine) Graph() *graph.Graph { return e.g }
 // core.Prepare, or nil when the input graph was usable as-is.
 func (e *Engine) Mapping() []int { return e.mapping }
 
+// Pool returns the engine's shared chain-buffer pool. Workloads that
+// run chains beside the engine's own estimate traffic (internal/rank's
+// whole-graph rankings) draw their buffers from it so they share the
+// per-target shortest-path snapshot LRU with the μ-cache and every
+// concurrent estimate on the same graph.
+func (e *Engine) Pool() *mcmc.BufferPool { return e.pool }
+
 // ErrUnknownVertex is wrapped by every "no such vertex" failure —
 // out-of-range engine ids and labels absent from the serving table —
 // so the HTTP layer can map them to 404 with errors.Is.

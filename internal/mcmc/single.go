@@ -92,6 +92,14 @@ type Config struct {
 	// state into Result.FTrace, feeding the Diagnose convergence
 	// diagnostics. One float64 per step of memory.
 	CollectFTrace bool
+	// CollectProposalTrace records the (importance-weighted) f value of
+	// every proposed state into Result.ProposalFTrace — the sample
+	// stream behind the ProposalSide estimator. Unlike the chain trace
+	// these samples are iid (proposals are drawn independently), so
+	// their mean is an unbiased estimate of BC(r) and plain √(Var/T)
+	// standard errors apply; internal/rank's confidence intervals are
+	// built on this stream. One float64 per step of memory.
+	CollectProposalTrace bool
 }
 
 // DefaultConfig returns the paper-faithful configuration with the given
@@ -129,6 +137,10 @@ type Result struct {
 	// FTrace holds f(v_t) for every counted chain state (nil unless
 	// Config.CollectFTrace was set); feed it to Diagnose.
 	FTrace []float64
+	// ProposalFTrace holds the importance-weighted f of every proposed
+	// state (nil unless Config.CollectProposalTrace was set); its mean
+	// is Result.ProposalSide.
+	ProposalFTrace []float64
 }
 
 // MuHat returns the empirical lower-bound estimate of μ(target):
@@ -394,6 +406,9 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 		}
 		propSum += weight * fOf(depNew, n)
 		depPropSum += weight * depNew
+		if cfg.CollectProposalTrace {
+			res.ProposalFTrace = append(res.ProposalFTrace, weight*fOf(depNew, n))
+		}
 		if depNew > 0 {
 			propPosFrac += weight
 		}

@@ -78,9 +78,51 @@ func KendallTau(x, y []float64) float64 {
 	return (concordant - discordant) / denom
 }
 
+// Inversions counts the discordant index pairs between two score
+// vectors: pairs (i, j) that x and y order oppositely (ties on either
+// side discordant with nothing). Zero means y ranks exactly like x;
+// n(n-1)/2 means the rankings are reversed. This is the raw count
+// behind Kendall's τ numerator, useful on its own as an absolute
+// ranking-error measure. O(n²).
+func Inversions(x, y []float64) int {
+	if len(x) != len(y) {
+		panic("stats: Inversions length mismatch")
+	}
+	count := 0
+	for i := 0; i < len(x); i++ {
+		for j := i + 1; j < len(x); j++ {
+			if (x[i]-x[j])*(y[i]-y[j]) < 0 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// TopKIndices returns the indices of the k largest values, best first
+// (ties broken by lower index, keeping the selection deterministic).
+// It panics when k is outside [0, len(v)]. This is the one top-k
+// selection rule shared by the ranking metrics and front-ends.
+func TopKIndices(v []float64, k int) []int {
+	if k < 0 || k > len(v) {
+		panic("stats: TopKIndices k out of range")
+	}
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if v[idx[a]] != v[idx[b]] {
+			return v[idx[a]] > v[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx[:k]
+}
+
 // TopKOverlap returns |topK(x) ∩ topK(y)| / k where topK selects the
-// indices of the k largest values (ties broken by lower index, making the
-// measure deterministic). It panics if k exceeds the length.
+// indices of the k largest values per TopKIndices. It panics if k
+// exceeds the length.
 func TopKOverlap(x, y []float64, k int) float64 {
 	if len(x) != len(y) {
 		panic("stats: TopKOverlap length mismatch")
@@ -89,18 +131,8 @@ func TopKOverlap(x, y []float64, k int) float64 {
 		panic("stats: TopKOverlap k out of range")
 	}
 	top := func(v []float64) map[int]bool {
-		idx := make([]int, len(v))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.Slice(idx, func(a, b int) bool {
-			if v[idx[a]] != v[idx[b]] {
-				return v[idx[a]] > v[idx[b]]
-			}
-			return idx[a] < idx[b]
-		})
 		set := make(map[int]bool, k)
-		for _, i := range idx[:k] {
+		for _, i := range TopKIndices(v, k) {
 			set[i] = true
 		}
 		return set

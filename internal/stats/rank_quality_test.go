@@ -1,0 +1,100 @@
+package stats
+
+// Hand-computed fixtures for the ranking-quality metrics in rank.go —
+// the measures the top-k ranking subsystem (internal/rank) is judged
+// by. Every expected value below is derived by hand in the comments,
+// not by running the code.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInversionsFixtures(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want int
+	}{
+		// Identical rankings: no discordant pair.
+		{"identity", []float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, 0},
+		// Fully reversed 3 elements: all C(3,2)=3 pairs discordant.
+		{"reversed", []float64{1, 2, 3}, []float64{3, 2, 1}, 3},
+		// x=[3,1,2], y=[1,2,3]: pairs (0,1) 3>1 vs 1<2 discordant,
+		// (0,2) 3>2 vs 1<3 discordant, (1,2) 1<2 vs 2<3 concordant → 2.
+		{"two", []float64{3, 1, 2}, []float64{1, 2, 3}, 2},
+		// A tie on either side is neither concordant nor discordant:
+		// x=[1,1,2] has dx=0 for (0,1), so only (0,2) and (1,2) can
+		// count; both concordant with y=[2,1,3]? (0,2): 1<2 vs 2<3
+		// concordant; (1,2): 1<2 vs 1<3 concordant → 0.
+		{"ties", []float64{1, 1, 2}, []float64{2, 1, 3}, 0},
+		// Scores, not ranks: only relative order matters.
+		{"scores", []float64{0.9, 0.1, 0.5}, []float64{100, 3, 7}, 0},
+		{"empty", nil, nil, 0},
+	}
+	for _, c := range cases {
+		if got := Inversions(c.x, c.y); got != c.want {
+			t.Errorf("%s: Inversions = %d, want %d", c.name, got, c.want)
+		}
+		// Symmetry: discordance is a property of the pair.
+		if got := Inversions(c.y, c.x); got != c.want {
+			t.Errorf("%s: Inversions reversed args = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestInversionsMatchesKendallDiscordance(t *testing.T) {
+	// On tie-free data Kendall's τ = (C - D)/C(n,2); with n=4 and
+	// x=[1,2,3,4], y=[2,1,4,3]: D = Inversions = 2 (pairs (0,1) and
+	// (2,3)), C = 4, τ = (4-2)/6 = 1/3.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 1, 4, 3}
+	if got := Inversions(x, y); got != 2 {
+		t.Fatalf("Inversions = %d, want 2", got)
+	}
+	if got := KendallTau(x, y); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Fatalf("KendallTau = %v, want 1/3", got)
+	}
+}
+
+func TestSpearmanHandComputed(t *testing.T) {
+	// Tie-free: ranks equal the values. x=[1,2,3,4], y=[2,1,4,3];
+	// deviations from the common mean 2.5 are (-1.5,-.5,.5,1.5) and
+	// (-.5,-1.5,1.5,.5); Σxy = .75·4 = 3, Σx² = Σy² = 5 → ρ = 3/5.
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 1, 4, 3}
+	if got := Spearman(x, y); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 0.6", got)
+	}
+	// Perfect monotone agreement through ties: both sides rank
+	// [1, 2.5, 2.5, 4] → ρ = 1.
+	xt := []float64{1, 2, 2, 3}
+	yt := []float64{10, 20, 20, 30}
+	if got := Spearman(xt, yt); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman with ties = %v, want 1", got)
+	}
+	// Antitone: ρ = −1.
+	rev := []float64{4, 3, 2, 1}
+	if got := Spearman(x, rev); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Spearman antitone = %v, want -1", got)
+	}
+}
+
+func TestRanksAllTied(t *testing.T) {
+	// Three-way tie spans rank positions 1..3 → everyone gets 2.
+	r := Ranks([]float64{5, 5, 5})
+	for i, v := range r {
+		if v != 2 {
+			t.Fatalf("rank[%d] = %v, want 2", i, v)
+		}
+	}
+}
+
+func TestInversionsLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Inversions([]float64{1}, []float64{1, 2})
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"bcmh/internal/engine"
+	"bcmh/internal/jobs"
 )
 
 // httpHandler aliases http.Handler for the Session's lazy per-session
@@ -42,6 +43,25 @@ type SessionStatsResponse struct {
 	engine.Stats
 }
 
+// ServerOptions tunes NewServerWithOptions beyond the store itself.
+type ServerOptions struct {
+	// DefaultID names the session the legacy single-graph routes alias
+	// (empty: no default, those routes answer 404).
+	DefaultID string
+	// MaxRankJobs bounds concurrently running ranking jobs (zero:
+	// jobs.DefaultMaxRunning).
+	MaxRankJobs int
+	// MaxTrackedJobs bounds retained job records (zero:
+	// jobs.DefaultMaxTracked).
+	MaxTrackedJobs int
+	// SyncRankN is the synchronous fast-path threshold: a ranking
+	// request without an explicit "sync" field runs inside the request
+	// when the session's graph has at most this many vertices. Zero
+	// means rankings are always jobs unless the request says
+	// "sync": true.
+	SyncRankN int
+}
+
 // NewServer returns the multi-tenant HTTP handler cmd/bcserve mounts
 // over a store:
 //
@@ -53,6 +73,10 @@ type SessionStatsResponse struct {
 //	POST   /graphs/{id}/estimate/batch  engine.BatchRequest
 //	GET    /graphs/{id}/exact/{v}       exact betweenness
 //	GET    /graphs/{id}/stats           session stats
+//	POST   /graphs/{id}/rank            top-k ranking (RankRequest; job or sync)
+//	GET    /jobs                        list ranking jobs
+//	GET    /jobs/{jid}                  one job: status, progress, result
+//	DELETE /jobs/{jid}                  cancel a running job
 //
 // The single-graph routes of earlier releases — POST /estimate,
 // POST /estimate/batch, GET /exact/{v}, GET /stats — remain mounted as
@@ -63,14 +87,32 @@ type SessionStatsResponse struct {
 // Every estimation request runs under a context derived from both the
 // request and the session lifecycle: client disconnects abort the
 // chains with 499 semantics, and deleting the session under a running
-// request aborts it with 503 and the session-closed message.
+// request aborts it with 503 and the session-closed message. Ranking
+// jobs outlive their originating request but not their session — they
+// run under the session's lifecycle context and die with it.
 func NewServer(st *Store, defaultID string) http.Handler {
-	s := &storeServer{st: st, defaultID: defaultID}
+	return NewServerWithOptions(st, ServerOptions{DefaultID: defaultID})
+}
+
+// NewServerWithOptions is NewServer with explicit server options.
+func NewServerWithOptions(st *Store, opts ServerOptions) http.Handler {
+	s := &storeServer{
+		st:        st,
+		defaultID: opts.DefaultID,
+		opts:      opts,
+		jobs:      jobs.NewManager(jobs.Config{MaxRunning: opts.MaxRankJobs, MaxTracked: opts.MaxTrackedJobs}),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /graphs", s.handleCreate)
 	mux.HandleFunc("GET /graphs", s.handleList)
 	mux.HandleFunc("GET /graphs/{id}", s.handleInfo)
 	mux.HandleFunc("DELETE /graphs/{id}", s.handleDelete)
+	// Ranking and jobs (rank.go). The literal "rank" segment outranks
+	// the {rest...} wildcard below, so this route wins for /rank.
+	mux.HandleFunc("POST /graphs/{id}/rank", s.handleRank)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{jid}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{jid}", s.handleJobCancel)
 	// Estimation routes delegate to the session's single-graph handler
 	// (the exact handler bcserve used to mount process-wide), addressed
 	// beneath /graphs/{id}/. The {rest...} wildcard (not TrimPrefix on
@@ -86,6 +128,8 @@ func NewServer(st *Store, defaultID string) http.Handler {
 type storeServer struct {
 	st        *Store
 	defaultID string
+	opts      ServerOptions
+	jobs      *jobs.Manager
 }
 
 // storeStatus maps store lifecycle and upload errors to their pinned

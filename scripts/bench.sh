@@ -11,6 +11,8 @@
 #   BENCH='T2|Engine' scripts/bench.sh
 #   COUNT=5 BENCHTIME=5s OUT=/tmp/b.json scripts/bench.sh
 #   THRESHOLD_PCT=25 scripts/bench.sh compare
+#   OUT=fresh.json scripts/bench.sh compare   # keep the fresh JSON
+#                                             # (nightly CI uploads it)
 #
 # The JSON records, per benchmark, the best (minimum) ns/op over COUNT
 # runs — the most repeatable point estimate on a noisy machine — plus
@@ -39,8 +41,12 @@ compare)
         echo "bench.sh compare: no committed BENCH_*.json baseline found" >&2
         exit 2
     fi
-    OUT=$(mktemp --suffix=.json)
-    CLEAN_OUT=$OUT
+    # A caller-supplied OUT is kept (CI uploads the fresh numbers as an
+    # artifact); otherwise write to a temp file cleaned up on exit.
+    if [ -z "${OUT:-}" ]; then
+        OUT=$(mktemp --suffix=.json)
+        CLEAN_OUT=$OUT
+    fi
     ;;
 *)
     echo "bench.sh: unknown mode '$MODE' (want nothing or 'compare')" >&2
