@@ -376,6 +376,104 @@ func BenchmarkRankUniformTop5(b *testing.B) {
 	}
 }
 
+// editBatch builds the 64-edit mutation workload on fixBA: 32 edge
+// removals (every 40th edge) and 32 chord insertions, deterministic.
+func editBatch() []graph.Edit {
+	fixtures()
+	var edits []graph.Edit
+	i := 0
+	fixBA.ForEachEdge(func(u, v int, _ float64) {
+		if i%40 == 0 && len(edits) < 32 {
+			edits = append(edits, graph.Edit{Op: graph.EditRemove, U: u, V: v})
+		}
+		i++
+	})
+	r := rng.New(41)
+	for len(edits) < 64 {
+		u, v := r.Intn(fixBA.N()), r.Intn(fixBA.N())
+		if u == v || fixBA.HasEdge(u, v) {
+			continue
+		}
+		dup := false
+		for _, e := range edits {
+			if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			edits = append(edits, graph.Edit{Op: graph.EditAdd, U: u, V: v})
+		}
+	}
+	return edits
+}
+
+// BenchmarkApplyEdits measures the copy-on-write CSR merge: one
+// 64-edit batch (32 removals, 32 insertions) against the 2000-vertex
+// scale-free workload — the dynamic-graph mutation kernel.
+func BenchmarkApplyEdits(b *testing.B) {
+	edits := editBatch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := graph.ApplyEdits(fixBA, edits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ringChain builds a chain of `rings` cycles of `size` vertices, each
+// sharing one articulation vertex with the next — a block-rich
+// topology where μ-cache retention across swaps actually retains.
+func ringChain(rings, size int) *graph.Graph {
+	n := rings*(size-1) + 1
+	b := graph.NewBuilder(n)
+	for r := 0; r < rings; r++ {
+		base := r * (size - 1)
+		for i := 0; i < size-1; i++ {
+			b.AddEdge(base+i, base+i+1)
+		}
+		b.AddEdge(base+size-1, base) // close the cycle at the shared vertex
+	}
+	return b.MustBuild()
+}
+
+// BenchmarkSwapGraphWarm measures the full warm-engine mutation path:
+// ApplyEdits (one chord toggled in the first ring) plus
+// engine.SwapGraph with a μ-cache of 32 targets spread over a
+// 50-ring chain — so every swap runs the biconnected-component
+// retention analysis and carries ~31 of 32 entries across. This is
+// the serving-path cost of one PATCH /graphs/{id}/edges.
+func BenchmarkSwapGraphWarm(b *testing.B) {
+	g := ringChain(50, 40)
+	eng, err := engine.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := eng.MuStats(i * (g.N() / 32)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cur := eng.Graph()
+	add := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := graph.EditRemove
+		if add {
+			op = graph.EditAdd
+		}
+		next, rep, err := graph.ApplyEdits(cur, []graph.Edit{{Op: op, U: 1, V: 20}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.SwapGraph(next, rep.Pairs); err != nil {
+			b.Fatal(err)
+		}
+		cur = next
+		add = !add
+	}
+}
+
 // BenchmarkT12Adaptive measures one adaptive certification run at a
 // loose epsilon (table T12's kernel).
 func BenchmarkT12Adaptive(b *testing.B) {

@@ -9,6 +9,7 @@
 //	bcserve -in net.txt                          # one graph, aliased to /estimate etc.
 //	bcserve -in web=web.txt -in road=road.txt    # many named graphs
 //	bcserve rank -in net.txt -k 10               # offline top-k ranking (no server)
+//	bcserve mutate -graph net -add 3,9 -remove 4,7   # edit a served graph in place
 //
 // Endpoints (see internal/store.NewServer for the full reference):
 //
@@ -16,6 +17,7 @@
 //	GET    /graphs                     list sessions and budget counters
 //	GET    /graphs/{id}                one session's description
 //	DELETE /graphs/{id}                drop a session (aborts its in-flight work)
+//	PATCH  /graphs/{id}/edges          {"edits":[{"op":"add","u":3,"v":9}], "if_version": 2}
 //	POST   /graphs/{id}/estimate       {"vertex": 3, "epsilon": 0.05, "seed": 7}
 //	POST   /graphs/{id}/estimate/batch {"targets": [3, 9, 3], "seed": 7}
 //	GET    /graphs/{id}/exact/3
@@ -41,10 +43,21 @@
 //
 //	bcserve rank -in net.txt -k 10 -seed 7
 //	bcserve rank -in net.txt -k 5 -exact      # also print exact top-k + overlap
+//
+// The `mutate` subcommand is the dynamic-graph client: it PATCHes an
+// edge-edit batch to a running server and prints the applied version,
+// changed vertices, and μ-cache retention outcome. Vertices are input
+// labels; -if-version makes read-modify-write loops safe (the server
+// answers 409 on a stale precondition):
+//
+//	bcserve mutate -url http://localhost:8080 -graph web -add 3,9 -add 4,8,2.5 -remove 1,2
+//	bcserve mutate -graph web -if-version 3 -remove 7,9
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -53,6 +66,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -74,6 +88,12 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "rank" {
 		if err := runRankCLI(os.Args[2:]); err != nil {
 			log.Fatalf("bcserve rank: %v", err)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "mutate" {
+		if err := runMutateCLI(os.Args[2:]); err != nil {
+			log.Fatalf("bcserve mutate: %v", err)
 		}
 		return
 	}
@@ -186,6 +206,92 @@ func sessionIDFromPath(path string, index int) string {
 		id = fmt.Sprintf("g%d", index)
 	}
 	return id
+}
+
+// runMutateCLI implements `bcserve mutate`: an HTTP client for
+// PATCH /graphs/{id}/edges against a running bcserve.
+func runMutateCLI(args []string) error {
+	fs := flag.NewFlagSet("bcserve mutate", flag.ExitOnError)
+	var (
+		url       = fs.String("url", "http://localhost:8080", "server base URL")
+		graphID   = fs.String("graph", "", "graph session id to mutate (required)")
+		ifVersion = fs.Int64("if-version", -1, "apply only if the graph is at exactly this version (-1: unconditional)")
+		timeout   = fs.Duration("timeout", 30*time.Second, "request timeout")
+	)
+	var edits []store.EditRequest
+	addEdit := func(op string) func(string) error {
+		return func(v string) error {
+			parts := strings.Split(v, ",")
+			if op == "remove" && len(parts) != 2 || op == "add" && (len(parts) < 2 || len(parts) > 3) {
+				return fmt.Errorf("want u,v%s", map[string]string{"add": "[,w]", "remove": ""}[op])
+			}
+			var e store.EditRequest
+			e.Op = op
+			var err error
+			if e.U, err = strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64); err != nil {
+				return err
+			}
+			if e.V, err = strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64); err != nil {
+				return err
+			}
+			if len(parts) == 3 {
+				if e.W, err = strconv.ParseFloat(strings.TrimSpace(parts[2]), 64); err != nil {
+					return err
+				}
+			}
+			edits = append(edits, e)
+			return nil
+		}
+	}
+	fs.Func("add", "edge to insert, as `u,v` or `u,v,w` (repeatable; labels as served)", addEdit("add"))
+	fs.Func("remove", "edge to delete, as `u,v` (repeatable)", addEdit("remove"))
+	fs.Parse(args)
+	if *graphID == "" {
+		fs.Usage()
+		return fmt.Errorf("-graph is required")
+	}
+	if len(edits) == 0 {
+		return fmt.Errorf("no edits; pass -add and/or -remove")
+	}
+	req := store.MutateRequest{Edits: edits}
+	if *ifVersion >= 0 {
+		v := uint64(*ifVersion)
+		req.IfVersion = &v
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPatch,
+		strings.TrimRight(*url, "/")+"/graphs/"+*graphID+"/edges", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %d %s: %s", resp.StatusCode, http.StatusText(resp.StatusCode), e.Error)
+		}
+		return fmt.Errorf("server: %d %s", resp.StatusCode, http.StatusText(resp.StatusCode))
+	}
+	var out store.MutateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	fmt.Printf("graph %s: version %d (n=%d, m=%d, ~%d bytes)\n", out.ID, out.Version, out.N, out.M, out.Bytes)
+	fmt.Printf("  +%d edge(s), -%d edge(s); %d vertices changed: %v\n", out.Added, out.Removed, len(out.Changed), out.Changed)
+	fmt.Printf("  μ-cache: %d retained, %d invalidated\n", out.MuRetained, out.MuInvalidated)
+	return nil
 }
 
 // runRankCLI implements `bcserve rank`: the offline counterpart of

@@ -15,7 +15,9 @@
 //   - internal/engine — the batch estimation subsystem: one prepared
 //     graph handle serving concurrent requests with a shared μ-cache,
 //     a bounded LRU of completed estimates, pooled traversal buffers,
-//     and a deterministic batch worker pool; includes the single-graph
+//     and a deterministic batch worker pool; serves a *versioned*
+//     graph (SwapGraph installs mutated CSRs atomically, with requests
+//     snapshot-isolated on capture); includes the single-graph
 //     HTTP/JSON handlers the store mounts per session.
 //   - internal/store — the multi-tenant graph store: named sessions
 //     (each an engine plus label table and lifecycle context) created
@@ -71,6 +73,29 @@
 // to 499, a session deleted under a running request to 503, and either
 // way the chains stop traversing promptly instead of running to their
 // full step budget.
+//
+// # Dynamic graphs
+//
+// Graphs are versioned and mutable in place: graph.ApplyEdits builds
+// a fresh CSR one version ahead by a linear merge (batch-validated:
+// no parallel edges, no self-loops, no blind deletes, no weight-class
+// changes, vertex ids stable), and engine.SwapGraph installs it
+// atomically. Estimation is snapshot-isolated — every request,
+// batch, and ranking job captures one (graph, pool, version) tuple at
+// entry and completes on it bit-identically, no matter how many
+// mutations land mid-run — while result-cache keys carry the version
+// so stale entries never serve the new graph. μ-cache entries survive
+// a swap exactly when the biconnected-component retention rule
+// (graph.AffectedByEdits) proves the target's dependency column
+// unchanged: edits confined to other blocks of the block-cut tree
+// cannot move μ(r) or BC(r). Over HTTP this is
+// PATCH /graphs/{id}/edges (label-addressed edits, optional
+// if_version precondition answered with 409 on conflict, 400 for
+// batches that would disconnect the graph), session cost/budget
+// re-accounting on every batch, version stamps in Info and /stats,
+// and a per-job on_mutate policy (finish on the start snapshot, or
+// cancel with a versioned cause). cmd/bcserve's mutate subcommand is
+// the CLI client; examples/dynamic is the offline walkthrough.
 //
 // # Top-k ranking jobs
 //

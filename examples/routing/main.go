@@ -14,11 +14,11 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
 
 	"bcmh/internal/core"
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
+	"bcmh/internal/stats"
 )
 
 const (
@@ -45,27 +45,17 @@ func main() {
 	// candidate pool (estimating all n would be wasteful; high-BC nodes
 	// in geometric graphs are found among well-connected ones).
 	pool := topDegree(g, 40)
-	type cand struct {
-		v  int
-		bc float64
-	}
-	scored := make([]cand, 0, len(pool))
-	for _, v := range pool {
+	scores := make([]float64, len(pool))
+	for i, v := range pool {
 		est, err := core.EstimateBC(g, v, core.Options{Steps: 4000, Seed: uint64(100 + v)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		scored = append(scored, cand{v, est.Value})
+		scores[i] = est.Value
 	}
-	sort.Slice(scored, func(a, b int) bool {
-		if scored[a].bc != scored[b].bc {
-			return scored[a].bc > scored[b].bc
-		}
-		return scored[a].v < scored[b].v
-	})
 	relaysBC := make([]int, numRelays)
-	for i := range relaysBC {
-		relaysBC[i] = scored[i].v
+	for i, j := range stats.TopKIndices(scores, numRelays) {
+		relaysBC[i] = pool[j]
 	}
 
 	// (b) Pure degree. (c) Random.
@@ -95,17 +85,11 @@ func main() {
 }
 
 func topDegree(g *graph.Graph, k int) []int {
-	idx := make([]int, g.N())
-	for i := range idx {
-		idx[i] = i
+	degs := make([]float64, g.N())
+	for v := range degs {
+		degs[v] = float64(g.Degree(v))
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if g.Degree(idx[a]) != g.Degree(idx[b]) {
-			return g.Degree(idx[a]) > g.Degree(idx[b])
-		}
-		return idx[a] < idx[b]
-	})
-	return idx[:k]
+	return stats.TopKIndices(degs, k)
 }
 
 func relayedDeliveryRate(g *graph.Graph, relays []int, hops, trials int, r *rng.RNG) float64 {

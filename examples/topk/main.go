@@ -23,6 +23,7 @@ import (
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
 	"bcmh/internal/sampler"
+	"bcmh/internal/stats"
 )
 
 const (
@@ -39,7 +40,7 @@ func main() {
 	// Exact reference (affordable at this scale; the pipeline is for
 	// when it is not).
 	exactBC := brandes.BCParallel(g, 0)
-	exactTop := topIndices(exactBC, k)
+	exactTop := stats.TopKIndices(exactBC, k)
 
 	// --- Stage 1: coarse screen.
 	us, err := sampler.NewUniformSource(g, 0)
@@ -47,7 +48,7 @@ func main() {
 		log.Fatal(err)
 	}
 	coarse := us.EstimateAll(coarseBudget, rng.New(1))
-	shortlist := topIndices(coarse, 3*k) // 3x overprovision
+	shortlist := stats.TopKIndices(coarse, 3*k) // 3x overprovision
 	fmt.Printf("stage 1: %d traversals screened %d vertices -> shortlist of %d\n",
 		coarseBudget, g.N(), len(shortlist))
 
@@ -91,7 +92,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rkAll := rk.EstimateAll(coarseBudget+totalStage2, rng.New(3))
-	rkTop := topIndices(rkAll, k)
+	rkTop := stats.TopKIndices(rkAll, k)
 
 	fmt.Printf("%-28s %s\n", "method", "top-k overlap with exact")
 	fmt.Printf("%-28s %d/%d\n", "screen+certify pipeline", overlap(pipelineTop, exactTop), k)
@@ -103,20 +104,6 @@ func main() {
 		fmt.Printf("  %2d. vertex %4d  est %.5f  exact %.5f  (%d samples)\n",
 			i+1, c.v, c.est, exactBC[c.v], c.samples)
 	}
-}
-
-func topIndices(scores []float64, k int) []int {
-	idx := make([]int, len(scores))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		if scores[idx[a]] != scores[idx[b]] {
-			return scores[idx[a]] > scores[idx[b]]
-		}
-		return idx[a] < idx[b]
-	})
-	return idx[:k]
 }
 
 func overlap(a, b []int) int {

@@ -52,12 +52,16 @@ func (e *Engine) EstimateBatch(targets []int, opts BatchOptions) ([]BatchResult,
 
 // EstimateBatchContext is EstimateBatch under a context: cancellation
 // aborts the in-flight per-target chains (each worker estimates through
-// EstimateContext) and stops dispatching queued targets, returning
-// ctx's error. A batch that completes is bit-identical to
-// EstimateBatch.
+// the snapshot-pinned estimation path) and stops dispatching queued
+// targets, returning ctx's error. A batch that completes is
+// bit-identical to EstimateBatch. The whole batch runs on the one
+// graph snapshot current at entry: a SwapGraph landing mid-batch
+// affects no target of it, so a batch's results are always mutually
+// consistent (one version).
 func (e *Engine) EstimateBatchContext(ctx context.Context, targets []int, opts BatchOptions) ([]BatchResult, error) {
+	sn := e.current()
 	for _, r := range targets {
-		if err := e.checkVertex(r); err != nil {
+		if err := sn.checkVertex(r); err != nil {
 			return nil, err
 		}
 	}
@@ -94,7 +98,7 @@ func (e *Engine) EstimateBatchContext(ctx context.Context, targets []int, opts B
 				r := distinct[di]
 				o := opts.Estimation
 				o.Seed = SeedFor(opts.Seed, r)
-				est, err := e.EstimateContext(ctx, r, o)
+				est, err := e.estimateOn(ctx, sn, r, o)
 				if err != nil {
 					errs[di] = err
 					continue

@@ -8,13 +8,16 @@ import (
 	"bcmh/internal/mcmc"
 )
 
-// resultKey identifies one completed estimate: the target vertex plus
-// the normalized options (which include the seed), so two requests that
-// differ only in defaulted-vs-explicit fields share an entry and two
-// requests with different seeds never collide.
+// resultKey identifies one completed estimate: the graph version it
+// ran on, the target vertex, and the normalized options (which include
+// the seed) — so two requests that differ only in defaulted-vs-explicit
+// fields share an entry, two requests with different seeds never
+// collide, and an entry computed before a mutation can never answer a
+// request on the mutated graph.
 type resultKey struct {
-	vertex int
-	opts   core.Options
+	version uint64
+	vertex  int
+	opts    core.Options
 }
 
 type lruEntry struct {

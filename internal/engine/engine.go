@@ -10,8 +10,9 @@
 //     target vertex and reused by every subsequent request, with
 //     concurrent first requests deduplicated to one computation;
 //   - completed estimates are kept in a bounded LRU keyed by
-//     (vertex, normalized options), so repeated requests are served
-//     from cache (duplicates inside one batch are dispatched once);
+//     (graph version, vertex, normalized options), so repeated
+//     requests are served from cache (duplicates inside one batch are
+//     dispatched once);
 //   - chain traversal buffers are pooled, so concurrent chains stop
 //     re-allocating per run;
 //   - the target-side shortest-path snapshot the fast dependency
@@ -20,12 +21,29 @@
 //     batch requests for the same vertex included — share one
 //     target-side BFS.
 //
+// # Dynamic graphs
+//
+// The engine serves a *versioned* graph: SwapGraph atomically installs
+// a mutated CSR (built by graph.ApplyEdits) as the new current
+// snapshot. Snapshots are immutable — a request captures exactly one
+// (graph, pool, μ-cache, version) tuple at entry and runs on it to
+// completion, so an estimate in flight across a swap finishes
+// bit-identically to a run with no mutation at all, while the next
+// request sees the new graph. Result-cache keys carry the version, so
+// a stale entry can never answer a post-mutation request. μ-cache
+// entries survive a swap when the edit batch provably cannot have
+// changed the target's dependency column: the biconnected-component
+// retention rule of graph.AffectedByEdits (targets outside every
+// edited block's block-cut-tree span keep their exact μ, BC, and
+// concentration profile); all other entries are invalidated.
+//
 // Engine.Estimate serves one target; Engine.EstimateBatch fans a target
 // list over a bounded worker pool with per-target seeds derived
 // deterministically from one request seed, so batch results are
-// reproducible and independent of scheduling. Engine.Stats exposes the
-// cache and in-flight counters; server.go wraps it all in the HTTP/JSON
-// surface cmd/bcserve serves.
+// reproducible and independent of scheduling (the whole batch runs on
+// the one snapshot captured at entry). Engine.Stats exposes the cache,
+// version, and in-flight counters; server.go wraps it all in the
+// HTTP/JSON surface cmd/bcserve serves.
 package engine
 
 import (
@@ -59,20 +77,33 @@ type Config struct {
 	Lifecycle context.Context
 }
 
-// Engine owns the shared state for estimating betweenness on one
-// prepared graph. Safe for concurrent use.
-type Engine struct {
-	g         *graph.Graph
-	mapping   []int
-	lifecycle context.Context
-
-	pool *mcmc.BufferPool
+// snapshot is one immutable serving state: a graph version, the CSR it
+// serves, the buffer pool sized to it, and the version's μ-cache.
+// Requests capture one snapshot at entry and never re-read the current
+// pointer, which is what makes estimation snapshot-isolated across
+// SwapGraph.
+type snapshot struct {
+	g       *graph.Graph
+	pool    *mcmc.BufferPool
+	version uint64
 
 	// μ-cache: one entry per requested target, computed once in a
 	// detached goroutine so concurrent first requests share the O(nm)
-	// MuExact evaluation and every waiter stays cancellable.
+	// MuExact evaluation and every waiter stays cancellable. Entries
+	// may be carried over from the previous snapshot when retention
+	// proves them unaffected.
 	muMtx sync.Mutex
 	mu    map[int]*muEntry
+}
+
+// Engine owns the shared state for estimating betweenness on one
+// prepared graph lineage. Safe for concurrent use.
+type Engine struct {
+	mapping   []int
+	lifecycle context.Context
+
+	snap    atomic.Pointer[snapshot]
+	swapMtx sync.Mutex // serializes SwapGraph
 
 	results *lruCache
 
@@ -81,6 +112,9 @@ type Engine struct {
 	inFlight                 atomic.Int64
 	estimates                atomic.Uint64
 	batches                  atomic.Uint64
+	swaps                    atomic.Uint64
+	muRetained               atomic.Uint64
+	muInvalidated            atomic.Uint64
 }
 
 // muEntry is one target's μ computation: done closes when stats/err are
@@ -114,46 +148,169 @@ func NewWithConfig(g *graph.Graph, cfg Config) (*Engine, error) {
 	if lifecycle == nil {
 		lifecycle = context.Background()
 	}
-	return &Engine{
-		g:         prepared,
+	e := &Engine{
 		mapping:   mapping,
 		lifecycle: lifecycle,
-		pool:      mcmc.NewBufferPool(prepared),
-		mu:        make(map[int]*muEntry),
 		results:   newLRUCache(size),
-	}, nil
+	}
+	e.snap.Store(&snapshot{
+		g:       prepared,
+		pool:    mcmc.NewBufferPool(prepared),
+		version: prepared.Version(),
+		mu:      make(map[int]*muEntry),
+	})
+	return e, nil
 }
 
-// Graph returns the prepared graph the engine estimates on.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// current returns the serving snapshot. Callers that need consistency
+// across several reads (graph + pool + μ-cache) must hold one snapshot
+// rather than calling the individual accessors repeatedly.
+func (e *Engine) current() *snapshot { return e.snap.Load() }
+
+// Graph returns the prepared graph the engine currently estimates on.
+func (e *Engine) Graph() *graph.Graph { return e.current().g }
+
+// Version returns the graph version the engine currently serves.
+func (e *Engine) Version() uint64 { return e.current().version }
 
 // Mapping returns the prepared-vertex → original-vertex mapping from
 // core.Prepare, or nil when the input graph was usable as-is.
 func (e *Engine) Mapping() []int { return e.mapping }
 
-// Pool returns the engine's shared chain-buffer pool. Workloads that
-// run chains beside the engine's own estimate traffic (internal/rank's
-// whole-graph rankings) draw their buffers from it so they share the
-// per-target shortest-path snapshot LRU with the μ-cache and every
-// concurrent estimate on the same graph.
-func (e *Engine) Pool() *mcmc.BufferPool { return e.pool }
+// Pool returns the current snapshot's chain-buffer pool. A pool is
+// only valid for the graph of the snapshot it came from — callers that
+// run chains beside the engine's own traffic must take Graph and Pool
+// from one Snapshot call, never from separate Graph()/Pool() reads
+// that a concurrent SwapGraph could split across versions.
+func (e *Engine) Pool() *mcmc.BufferPool { return e.current().pool }
+
+// Snapshot is an exported consistent view of one serving state.
+type Snapshot struct {
+	// Graph is the snapshot's immutable CSR.
+	Graph *graph.Graph
+	// Pool is the buffer pool sized to (and caching target SPDs of)
+	// exactly that graph.
+	Pool *mcmc.BufferPool
+	// Version is the snapshot's graph version.
+	Version uint64
+}
+
+// Snapshot returns the current (graph, pool, version) tuple,
+// guaranteed mutually consistent. Work started on a snapshot (e.g. a
+// ranking job) keeps running on it bit-identically across any number
+// of subsequent SwapGraph calls.
+func (e *Engine) Snapshot() Snapshot {
+	sn := e.current()
+	return Snapshot{Graph: sn.g, Pool: sn.pool, Version: sn.version}
+}
 
 // ErrUnknownVertex is wrapped by every "no such vertex" failure —
 // out-of-range engine ids and labels absent from the serving table —
 // so the HTTP layer can map them to 404 with errors.Is.
 var ErrUnknownVertex = errors.New("unknown vertex")
 
-func (e *Engine) checkVertex(r int) error {
-	if r < 0 || r >= e.g.N() {
-		return fmt.Errorf("engine: vertex %d out of range [0,%d): %w", r, e.g.N(), ErrUnknownVertex)
+// ErrVersionRegression is wrapped by SwapGraph when the candidate
+// graph's version does not advance past the serving snapshot's.
+var ErrVersionRegression = errors.New("graph version must advance")
+
+func (sn *snapshot) checkVertex(r int) error {
+	if r < 0 || r >= sn.g.N() {
+		return fmt.Errorf("engine: vertex %d out of range [0,%d): %w", r, sn.g.N(), ErrUnknownVertex)
 	}
 	return nil
 }
 
+// SwapReport describes one SwapGraph outcome.
+type SwapReport struct {
+	// Version is the version now being served.
+	Version uint64
+	// Affected is the number of vertices inside the edit's affected
+	// region (see graph.AffectedByEdits).
+	Affected int
+	// MuRetained and MuInvalidated count μ-cache entries carried over
+	// versus dropped.
+	MuRetained, MuInvalidated int
+}
+
+// SwapGraph atomically replaces the serving graph with next — a
+// mutated CSR produced by graph.ApplyEdits on the current one — and
+// edited is the applied batch's endpoint pairs (EditReport.Pairs).
+//
+// Requirements: next must be undirected, connected, have the same
+// vertex count as the current graph (vertex ids are stable across a
+// mutation lineage; that stability is what lets caches and label
+// tables survive), and carry a strictly greater Version.
+//
+// In-flight estimates are untouched: they hold the previous snapshot
+// and complete on it bit-identically. The result LRU needs no sweep —
+// its keys carry the version, so old entries can never answer
+// new-version requests and simply age out. μ-cache entries (including
+// ones still being computed) are carried into the new snapshot exactly
+// when the target lies outside the edit's affected region, where the
+// dependency column is provably unchanged; retained exact values are
+// mathematically exact for the new graph, though not necessarily
+// bit-identical to what a cold recomputation on the new CSR would
+// produce (shortest-path counts may regroup floating-point sums).
+// Passing nil edited pairs invalidates every entry — the safe call
+// when the mutation's provenance is unknown.
+func (e *Engine) SwapGraph(next *graph.Graph, edited [][2]int) (SwapReport, error) {
+	if next == nil {
+		return SwapReport{}, fmt.Errorf("engine: SwapGraph on nil graph")
+	}
+	if next.Directed() {
+		return SwapReport{}, fmt.Errorf("engine: SwapGraph requires an undirected graph")
+	}
+	e.swapMtx.Lock()
+	defer e.swapMtx.Unlock()
+	cur := e.current()
+	if next.N() != cur.g.N() {
+		return SwapReport{}, fmt.Errorf("engine: SwapGraph changes the vertex count (%d -> %d); mutations must keep vertex ids stable", cur.g.N(), next.N())
+	}
+	if next.Version() <= cur.version {
+		return SwapReport{}, fmt.Errorf("engine: %w (serving %d, offered %d)", ErrVersionRegression, cur.version, next.Version())
+	}
+	if !graph.IsConnected(next) {
+		return SwapReport{}, fmt.Errorf("engine: SwapGraph rejects a disconnected graph (the estimators require connectivity)")
+	}
+	affected := graph.AffectedByEdits(next, edited)
+	nAffected := 0
+	for _, a := range affected {
+		if a {
+			nAffected++
+		}
+	}
+	fresh := &snapshot{
+		g:       next,
+		pool:    mcmc.NewBufferPool(next),
+		version: next.Version(),
+		mu:      make(map[int]*muEntry),
+	}
+	report := SwapReport{Version: next.Version(), Affected: nAffected}
+	cur.muMtx.Lock()
+	for r, ent := range cur.mu {
+		if affected[r] {
+			report.MuInvalidated++
+			continue
+		}
+		// Unaffected target: the entry (finished or still computing on
+		// the old snapshot, which stays immutable) is exact for the new
+		// graph too.
+		fresh.mu[r] = ent
+		report.MuRetained++
+	}
+	cur.muMtx.Unlock()
+	e.snap.Store(fresh)
+	e.swaps.Add(1)
+	e.muRetained.Add(uint64(report.MuRetained))
+	e.muInvalidated.Add(uint64(report.MuInvalidated))
+	return report, nil
+}
+
 // MuStats returns the exact concentration profile μ(r) (and with it the
-// exact BC(r)) of target r, computing it at most once per engine
-// lifetime. Concurrent first calls for the same target block on a
-// single computation; every later call is a cache hit.
+// exact BC(r)) of target r, computing it at most once per graph
+// version (less, when retention carries entries across versions).
+// Concurrent first calls for the same target block on a single
+// computation; every later call is a cache hit.
 func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
 	return e.MuStatsContext(context.Background(), r)
 }
@@ -165,14 +322,19 @@ func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
 // error immediately — so exact-BC and planned-steps requests are
 // cancellable even while μ is being derived.
 func (e *Engine) MuStatsContext(ctx context.Context, r int) (mcmc.MuStats, error) {
-	if err := e.checkVertex(r); err != nil {
+	return e.muStatsOn(ctx, e.current(), r)
+}
+
+// muStatsOn is MuStatsContext pinned to one snapshot.
+func (e *Engine) muStatsOn(ctx context.Context, sn *snapshot, r int) (mcmc.MuStats, error) {
+	if err := sn.checkVertex(r); err != nil {
 		return mcmc.MuStats{}, err
 	}
-	e.muMtx.Lock()
-	ent, ok := e.mu[r]
+	sn.muMtx.Lock()
+	ent, ok := sn.mu[r]
 	if !ok {
 		ent = &muEntry{done: make(chan struct{})}
-		e.mu[r] = ent
+		sn.mu[r] = ent
 		go func() {
 			// Pooled: the target-side BFS snapshot this derives the
 			// column from is cached in the buffer pool, where the same
@@ -180,11 +342,11 @@ func (e *Engine) MuStatsContext(ctx context.Context, r int) (mcmc.MuStats, error
 			// Bounded by the engine lifecycle, not the requester's ctx:
 			// abandoned requests still warm the cache, but an engine
 			// whose session died stops computing.
-			ent.stats, ent.err = mcmc.MuExactPooledContext(e.lifecycle, e.g, r, e.pool)
+			ent.stats, ent.err = mcmc.MuExactPooledContext(e.lifecycle, sn.g, r, sn.pool)
 			close(ent.done)
 		}()
 	}
-	e.muMtx.Unlock()
+	sn.muMtx.Unlock()
 	if ok {
 		e.muHits.Add(1)
 	} else {
@@ -218,7 +380,8 @@ func (e *Engine) ExactBCOfContext(ctx context.Context, r int) (float64, error) {
 
 // Estimate estimates the betweenness of vertex r under opts, sharing
 // the engine's μ-cache, result cache, and buffer pool. Results are
-// bit-identical to core.EstimateBC with the same options and seed.
+// bit-identical to core.EstimateBC with the same options and seed on
+// the snapshot's graph.
 func (e *Engine) Estimate(r int, opts core.Options) (core.Estimate, error) {
 	return e.EstimateContext(context.Background(), r, opts)
 }
@@ -229,13 +392,19 @@ func (e *Engine) Estimate(r int, opts core.Options) (core.Estimate, error) {
 // request's context here, so a disconnected client or an evicted
 // session stops consuming CPU). Cache lookups are unaffected — a hit is
 // served even under a cancelled context — and aborted runs are never
-// cached.
+// cached. The request runs entirely on the snapshot current at entry:
+// a SwapGraph mid-estimate neither perturbs nor aborts it.
 func (e *Engine) EstimateContext(ctx context.Context, r int, opts core.Options) (core.Estimate, error) {
-	if err := e.checkVertex(r); err != nil {
+	return e.estimateOn(ctx, e.current(), r, opts)
+}
+
+// estimateOn is EstimateContext pinned to one snapshot.
+func (e *Engine) estimateOn(ctx context.Context, sn *snapshot, r int, opts core.Options) (core.Estimate, error) {
+	if err := sn.checkVertex(r); err != nil {
 		return core.Estimate{}, err
 	}
 	o := opts.Normalized()
-	key := resultKey{vertex: r, opts: o}
+	key := resultKey{version: sn.version, vertex: r, opts: o}
 	if est, ok := e.results.get(key); ok {
 		e.resultHits.Add(1)
 		return est, nil
@@ -245,13 +414,13 @@ func (e *Engine) EstimateContext(ctx context.Context, r int, opts core.Options) 
 	defer e.inFlight.Add(-1)
 	mu := o.MuBound
 	if o.Steps <= 0 && mu <= 0 {
-		ms, err := e.MuStatsContext(ctx, r)
+		ms, err := e.muStatsOn(ctx, sn, r)
 		if err != nil {
 			return core.Estimate{}, err
 		}
 		mu = ms.Mu
 	}
-	est, err := core.EstimateBCPreparedContext(ctx, e.g, r, o, mu, e.pool)
+	est, err := core.EstimateBCPreparedContext(ctx, sn.g, r, o, mu, sn.pool)
 	if err != nil {
 		return core.Estimate{}, err
 	}
@@ -263,16 +432,25 @@ func (e *Engine) EstimateContext(ctx context.Context, r int, opts core.Options) 
 // Stats is a point-in-time snapshot of the engine's shared-state
 // counters (served by bcserve's GET /stats).
 type Stats struct {
+	// Version is the graph version currently being served; Swaps counts
+	// completed SwapGraph calls.
+	Version uint64 `json:"version"`
+	Swaps   uint64 `json:"swaps"`
 	// MuHits and MuMisses count μ-cache lookups; a miss is one O(nm)
 	// MuExact computation, a hit reuses (or waits on) a prior one.
 	MuHits   uint64 `json:"mu_hits"`
 	MuMisses uint64 `json:"mu_misses"`
-	// MuCached is the number of targets with a cached μ profile.
-	MuCached int `json:"mu_cached"`
+	// MuCached is the number of targets with a cached μ profile on the
+	// current version. MuRetained/MuInvalidated count entries carried
+	// across swaps versus dropped by them, cumulatively.
+	MuCached      int    `json:"mu_cached"`
+	MuRetained    uint64 `json:"mu_retained"`
+	MuInvalidated uint64 `json:"mu_invalidated"`
 	// ResultHits and ResultMisses count completed-estimate LRU lookups.
 	ResultHits   uint64 `json:"result_hits"`
 	ResultMisses uint64 `json:"result_misses"`
-	// ResultCached is the number of estimates currently in the LRU.
+	// ResultCached is the number of estimates currently in the LRU
+	// (entries of superseded versions age out under capacity pressure).
 	ResultCached int `json:"result_cached"`
 	// InFlight is the number of estimations running right now.
 	InFlight int64 `json:"in_flight"`
@@ -284,18 +462,23 @@ type Stats struct {
 
 // Stats returns a snapshot of the engine's counters.
 func (e *Engine) Stats() Stats {
-	e.muMtx.Lock()
-	muCached := len(e.mu)
-	e.muMtx.Unlock()
+	sn := e.current()
+	sn.muMtx.Lock()
+	muCached := len(sn.mu)
+	sn.muMtx.Unlock()
 	return Stats{
-		MuHits:       e.muHits.Load(),
-		MuMisses:     e.muMisses.Load(),
-		MuCached:     muCached,
-		ResultHits:   e.resultHits.Load(),
-		ResultMisses: e.resultMisses.Load(),
-		ResultCached: e.results.len(),
-		InFlight:     e.inFlight.Load(),
-		Estimates:    e.estimates.Load(),
-		Batches:      e.batches.Load(),
+		Version:       sn.version,
+		Swaps:         e.swaps.Load(),
+		MuHits:        e.muHits.Load(),
+		MuMisses:      e.muMisses.Load(),
+		MuCached:      muCached,
+		MuRetained:    e.muRetained.Load(),
+		MuInvalidated: e.muInvalidated.Load(),
+		ResultHits:    e.resultHits.Load(),
+		ResultMisses:  e.resultMisses.Load(),
+		ResultCached:  e.results.len(),
+		InFlight:      e.inFlight.Load(),
+		Estimates:     e.estimates.Load(),
+		Batches:       e.batches.Load(),
 	}
 }

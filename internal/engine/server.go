@@ -361,9 +361,14 @@ func (s *server) handleExact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One snapshot for n/m/version (a concurrent SwapGraph must not
+	// produce a reply pairing the new version with the old edge count).
+	snap := s.e.Snapshot()
+	stats := s.e.Stats()
+	stats.Version = snap.Version
 	WriteJSON(w, http.StatusOK, StatsResponse{
-		N:     s.e.Graph().N(),
-		M:     s.e.Graph().M(),
-		Stats: s.e.Stats(),
+		N:     snap.Graph.N(),
+		M:     snap.Graph.M(),
+		Stats: stats,
 	})
 }

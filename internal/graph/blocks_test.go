@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"bcmh/internal/rng"
+)
+
+// twoRings builds two cycles sharing the articulation vertex `join`:
+// ring A = 0..a-1 (cycle), ring B = a-1, a, .., a+b-2 back to a-1.
+// Blocks: {0..a-1} and {a-1, a..a+b-2}; cut vertex a-1.
+func twoRings(a, b int) *Graph {
+	n := a + b - 1
+	bld := NewBuilder(n)
+	for i := 0; i < a; i++ {
+		bld.AddEdge(i, (i+1)%a)
+	}
+	ring := append([]int{a - 1}, make([]int, 0, b-1)...)
+	for i := 0; i < b-1; i++ {
+		ring = append(ring, a+i)
+	}
+	for i := range ring {
+		bld.AddEdge(ring[i], ring[(i+1)%len(ring)])
+	}
+	return bld.MustBuild()
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func TestBlocksTwoRings(t *testing.T) {
+	g := twoRings(5, 4) // ring A = 0..4, ring B = 4,5,6,7; cut = 4
+	bf := Blocks(g)
+	if len(bf.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2 (%v)", len(bf.Blocks), bf.Blocks)
+	}
+	var got [][]int
+	for _, blk := range bf.Blocks {
+		got = append(got, sortedCopy(blk))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	want := [][]int{{0, 1, 2, 3, 4}, {4, 5, 6, 7}}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("block %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("block %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if bf.IsCut[v] != (v == 4) {
+			t.Fatalf("IsCut[%d] = %v", v, bf.IsCut[v])
+		}
+	}
+}
+
+func TestBlocksBridgesAndTree(t *testing.T) {
+	// Path of 4 vertices: every edge a bridge, middle vertices cut.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	bf := Blocks(g)
+	if len(bf.Blocks) != 3 {
+		t.Fatalf("blocks = %v, want 3 bridges", bf.Blocks)
+	}
+	for v, want := range []bool{false, true, true, false} {
+		if bf.IsCut[v] != want {
+			t.Fatalf("IsCut[%d] = %v, want %v", v, bf.IsCut[v], want)
+		}
+	}
+}
+
+func TestAffectedByEditsInsertionWithinBlock(t *testing.T) {
+	// Chord inserted inside ring B: ring A's interior (everything but
+	// the cut vertex) must be unaffected.
+	g := twoRings(6, 6) // A = 0..5, cut = 5, B = 5..10
+	next, rep, err := ApplyEdits(g, []Edit{{Op: EditAdd, U: 6, V: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	affected := AffectedByEdits(next, rep.Pairs)
+	for v := 0; v < 5; v++ {
+		if affected[v] {
+			t.Fatalf("ring-A vertex %d marked affected by a ring-B chord", v)
+		}
+	}
+	for v := 5; v <= 10; v++ {
+		if !affected[v] {
+			t.Fatalf("ring-B vertex %d not marked affected", v)
+		}
+	}
+}
+
+func TestAffectedByEditsRemovalSplitsBlock(t *testing.T) {
+	// Removing a ring-B edge splits B into a path of bridges; the
+	// affected set must cover the whole former block (the u–v tree
+	// path), still excluding ring A's interior.
+	g := twoRings(6, 6)
+	next, rep, err := ApplyEdits(g, []Edit{{Op: EditRemove, U: 7, V: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsConnected(next) {
+		t.Fatal("removal should keep the graph connected")
+	}
+	affected := AffectedByEdits(next, rep.Pairs)
+	for v := 0; v < 5; v++ {
+		if affected[v] {
+			t.Fatalf("ring-A vertex %d marked affected by a ring-B removal", v)
+		}
+	}
+	for v := 5; v <= 10; v++ {
+		if !affected[v] {
+			t.Fatalf("former ring-B vertex %d not marked affected", v)
+		}
+	}
+}
+
+func TestAffectedByEditsEmptyPairsMarksAll(t *testing.T) {
+	g := Cycle(5)
+	affected := AffectedByEdits(g, nil)
+	for v, a := range affected {
+		if !a {
+			t.Fatalf("vertex %d not affected under unknown edits", v)
+		}
+	}
+}
+
+// TestAffectedSoundnessAgainstExactBC is the soundness cross-check:
+// on random sparse graphs (bridge-rich, so blocks are small), any
+// vertex NOT in the affected set must keep its exact betweenness
+// after the edit. Exact BC here is a self-contained O(n³)
+// Floyd-Warshall dependency count — independent of internal/brandes,
+// which this package must not import.
+func TestAffectedSoundnessAgainstExactBC(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 16 + r.Intn(10)
+		var g *Graph
+		for {
+			g = ErdosRenyiGNM(n, n+r.Intn(n/2), r)
+			if IsConnected(g) {
+				break
+			}
+		}
+		var edits []Edit
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		if g.HasEdge(u, v) {
+			edits = []Edit{{Op: EditRemove, U: u, V: v}}
+		} else {
+			edits = []Edit{{Op: EditAdd, U: u, V: v}}
+		}
+		next, rep, err := ApplyEdits(g, edits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsConnected(next) {
+			continue // serving layers reject these; soundness claim is for connected results
+		}
+		affected := AffectedByEdits(next, rep.Pairs)
+		before := exactBCBrute(g)
+		after := exactBCBrute(next)
+		for w := 0; w < n; w++ {
+			if affected[w] {
+				continue
+			}
+			if diff := before[w] - after[w]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d: vertex %d outside the affected set changed BC %.12f -> %.12f (edit %v)",
+					trial, w, before[w], after[w], edits)
+			}
+		}
+	}
+}
+
+// exactBCBrute computes unnormalized betweenness by Floyd-Warshall
+// distances + path counts and direct triple enumeration. O(n³); test
+// sizes only.
+func exactBCBrute(g *Graph) []float64 {
+	n := g.N()
+	const inf = 1 << 29
+	d := make([][]int, n)
+	sigma := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]int, n)
+		sigma[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = inf
+		}
+		d[i][i] = 0
+		sigma[i][i] = 1
+	}
+	g.ForEachEdge(func(u, v int, _ float64) {
+		d[u][v], d[v][u] = 1, 1
+		sigma[u][v], sigma[v][u] = 1, 1
+	})
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j || i == k || j == k {
+					continue
+				}
+				if d[i][k]+d[k][j] < d[i][j] {
+					d[i][j] = d[i][k] + d[k][j]
+					sigma[i][j] = sigma[i][k] * sigma[k][j]
+				} else if d[i][k]+d[k][j] == d[i][j] && d[i][j] < inf {
+					sigma[i][j] += sigma[i][k] * sigma[k][j]
+				}
+			}
+		}
+	}
+	bc := make([]float64, n)
+	for w := 0; w < n; w++ {
+		for s := 0; s < n; s++ {
+			for t := 0; t < n; t++ {
+				if s == t || s == w || t == w || d[s][t] >= inf {
+					continue
+				}
+				if d[s][w]+d[w][t] == d[s][t] && sigma[s][t] > 0 {
+					bc[w] += sigma[s][w] * sigma[w][t] / sigma[s][t]
+				}
+			}
+		}
+	}
+	return bc
+}

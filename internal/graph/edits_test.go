@@ -1,0 +1,250 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"bcmh/internal/rng"
+)
+
+// edgeKey packs an undirected pair for map keying.
+func edgeKey(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+// edgeSet extracts g's undirected edges with weights.
+func edgeSet(g *Graph) map[[2]int]float64 {
+	out := make(map[[2]int]float64, g.M())
+	g.ForEachEdge(func(u, v int, w float64) {
+		out[edgeKey(u, v)] = w
+	})
+	return out
+}
+
+// rebuild constructs a fresh graph from an edge set via the Builder —
+// the from-scratch reference ApplyEdits must match bit for bit.
+func rebuild(n int, edges map[[2]int]float64, weighted bool) *Graph {
+	keys := make([][2]int, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	b := NewBuilder(n)
+	for _, k := range keys {
+		if weighted {
+			b.AddWeightedEdge(k[0], k[1], edges[k])
+		} else {
+			b.AddEdge(k[0], k[1])
+		}
+	}
+	return b.MustBuild()
+}
+
+// requireSameCSR asserts two graphs have identical offsets, adjacency,
+// weights, and edge counts.
+func requireSameCSR(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("size mismatch: got n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for i, o := range want.offsets {
+		if got.offsets[i] != o {
+			t.Fatalf("offsets[%d] = %d, want %d", i, got.offsets[i], o)
+		}
+	}
+	for i, a := range want.adj {
+		if got.adj[i] != a {
+			t.Fatalf("adj[%d] = %d, want %d", i, got.adj[i], a)
+		}
+	}
+	if (got.weights == nil) != (want.weights == nil) {
+		t.Fatalf("weightedness mismatch: got %v, want %v", got.weights != nil, want.weights != nil)
+	}
+	for i, w := range want.weights {
+		if got.weights[i] != w {
+			t.Fatalf("weights[%d] = %v, want %v", i, got.weights[i], w)
+		}
+	}
+}
+
+// TestApplyEditsRandomScriptsMatchRebuild is the edit-script property
+// test: for random add/remove batches applied over multiple
+// generations, the ApplyEdits output is bit-identical (offsets, adj,
+// weights) to a Builder rebuilt from scratch over the expected edge
+// set, and the input graph of every generation is left untouched.
+func TestApplyEditsRandomScriptsMatchRebuild(t *testing.T) {
+	for _, weighted := range []bool{false, true} {
+		t.Run(fmt.Sprintf("weighted=%v", weighted), func(t *testing.T) {
+			r := rng.New(42)
+			const n = 60
+			g := BarabasiAlbert(n, 3, r)
+			if weighted {
+				g = WithUniformWeights(g, 1, 5, r)
+			}
+			want := edgeSet(g)
+			for gen := 1; gen <= 25; gen++ {
+				// Snapshot the input's arrays to prove immutability.
+				beforeAdj := append([]int(nil), g.adj...)
+				beforeOff := append([]int(nil), g.offsets...)
+
+				// Random batch: mix of valid adds (absent pairs) and
+				// removes (present pairs), at most one edit per pair.
+				var edits []Edit
+				touched := map[[2]int]bool{}
+				for len(edits) < 8 {
+					u, v := r.Intn(n), r.Intn(n)
+					if u == v || touched[edgeKey(u, v)] {
+						continue
+					}
+					touched[edgeKey(u, v)] = true
+					if _, exists := want[edgeKey(u, v)]; exists {
+						edits = append(edits, Edit{Op: EditRemove, U: u, V: v})
+					} else {
+						w := 1.0
+						if weighted {
+							w = float64(1 + r.Intn(4))
+						}
+						edits = append(edits, Edit{Op: EditAdd, U: u, V: v, W: w})
+					}
+				}
+
+				next, rep, err := ApplyEdits(g, edits)
+				if err != nil {
+					t.Fatalf("gen %d: ApplyEdits: %v", gen, err)
+				}
+				if next.Version() != g.Version()+1 {
+					t.Fatalf("gen %d: version %d, want %d", gen, next.Version(), g.Version()+1)
+				}
+				// The input must be bit-identical to its snapshot.
+				for i := range beforeAdj {
+					if g.adj[i] != beforeAdj[i] {
+						t.Fatalf("gen %d: input adj mutated at %d", gen, i)
+					}
+				}
+				for i := range beforeOff {
+					if g.offsets[i] != beforeOff[i] {
+						t.Fatalf("gen %d: input offsets mutated at %d", gen, i)
+					}
+				}
+
+				// Maintain the reference edge set and compare CSRs.
+				wantAdded, wantRemoved := 0, 0
+				for _, e := range edits {
+					if e.Op == EditAdd {
+						w := e.W
+						if w == 0 {
+							w = 1
+						}
+						want[edgeKey(e.U, e.V)] = w
+						wantAdded++
+					} else {
+						delete(want, edgeKey(e.U, e.V))
+						wantRemoved++
+					}
+				}
+				if rep.Added != wantAdded || rep.Removed != wantRemoved {
+					t.Fatalf("gen %d: report added/removed = %d/%d, want %d/%d",
+						gen, rep.Added, rep.Removed, wantAdded, wantRemoved)
+				}
+				requireSameCSR(t, next, rebuild(n, want, weighted))
+				g = next
+			}
+		})
+	}
+}
+
+func TestApplyEditsChangedSetAndPairs(t *testing.T) {
+	g := Cycle(6)
+	next, rep, err := ApplyEdits(g, []Edit{
+		{Op: EditAdd, U: 0, V: 3},
+		{Op: EditRemove, U: 5, V: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantChanged := []int{0, 3, 4, 5}
+	if len(rep.Changed) != len(wantChanged) {
+		t.Fatalf("changed = %v, want %v", rep.Changed, wantChanged)
+	}
+	for i, v := range wantChanged {
+		if rep.Changed[i] != v {
+			t.Fatalf("changed = %v, want %v", rep.Changed, wantChanged)
+		}
+	}
+	if len(rep.Pairs) != 2 || rep.Pairs[0] != [2]int{0, 3} || rep.Pairs[1] != [2]int{4, 5} {
+		t.Fatalf("pairs = %v", rep.Pairs)
+	}
+	if !next.HasEdge(0, 3) || !next.HasEdge(3, 0) || next.HasEdge(4, 5) || next.HasEdge(5, 4) {
+		t.Fatal("edit not reflected in adjacency")
+	}
+	if next.M() != g.M() {
+		t.Fatalf("m = %d, want %d", next.M(), g.M())
+	}
+}
+
+func TestApplyEditsRejections(t *testing.T) {
+	g := Cycle(5) // edges {0,1},{1,2},{2,3},{3,4},{4,0}
+	cases := []struct {
+		name  string
+		edits []Edit
+	}{
+		{"empty", nil},
+		{"out of range", []Edit{{Op: EditAdd, U: 0, V: 5}}},
+		{"self loop", []Edit{{Op: EditAdd, U: 2, V: 2}}},
+		{"add existing", []Edit{{Op: EditAdd, U: 0, V: 1}}},
+		{"remove missing", []Edit{{Op: EditRemove, U: 0, V: 2}}},
+		{"duplicate pair", []Edit{{Op: EditAdd, U: 0, V: 2}, {Op: EditAdd, U: 2, V: 0}}},
+		{"add+remove same pair", []Edit{{Op: EditAdd, U: 0, V: 2}, {Op: EditRemove, U: 2, V: 0}}},
+		{"weighted add on unweighted", []Edit{{Op: EditAdd, U: 0, V: 2, W: 2.5}}},
+		{"negative weight", []Edit{{Op: EditAdd, U: 0, V: 2, W: -1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ApplyEdits(g, tc.edits); err == nil {
+				t.Fatalf("ApplyEdits(%v) succeeded, want error", tc.edits)
+			}
+		})
+	}
+	if _, _, err := ApplyEdits(nil, []Edit{{Op: EditAdd, U: 0, V: 1}}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	d := NewDirectedBuilder(3)
+	d.AddEdge(0, 1)
+	dg, _ := d.Build()
+	if _, _, err := ApplyEdits(dg, []Edit{{Op: EditAdd, U: 1, V: 2}}); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+func TestApplyEditsCanDisconnect(t *testing.T) {
+	// Removing a bridge is allowed at this layer (serving layers reject
+	// it); the result must still be a coherent CSR.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	next, _, err := ApplyEdits(g, []Edit{{Op: EditRemove, U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsConnected(next) {
+		t.Fatal("expected a disconnected result")
+	}
+	requireSameCSR(t, next, rebuild(4, edgeSet(next), false))
+}
+
+func TestVersionZeroFromBuilder(t *testing.T) {
+	if v := Cycle(4).Version(); v != 0 {
+		t.Fatalf("builder graph version = %d, want 0", v)
+	}
+}

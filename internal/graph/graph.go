@@ -27,6 +27,7 @@ type Graph struct {
 	weights  []float64 // parallel to adj; nil for unweighted graphs
 	m        int       // number of edges (undirected edges counted once)
 	directed bool
+	version  uint64 // mutation stamp: 0 from a Builder, +1 per ApplyEdits
 }
 
 // N returns the number of vertices.

@@ -117,6 +117,7 @@ func NewManager(cfg Config) *Manager {
 type Job struct {
 	id      string
 	owner   string
+	meta    any
 	created time.Time
 	cancel  context.CancelCauseFunc
 	done    chan struct{}
@@ -137,10 +138,13 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Info is a point-in-time job description, JSON-shaped for the HTTP
 // layer. Progress carries the Runner's latest report while running;
-// Result carries the returned value once done.
+// Result carries the returned value once done; Meta is the immutable
+// tag the caller attached at Start (the store records the graph
+// version the job started on and its on_mutate policy there).
 type Info struct {
 	ID       string     `json:"id"`
 	Owner    string     `json:"owner,omitempty"`
+	Meta     any        `json:"meta,omitempty"`
 	Status   Status     `json:"status"`
 	Created  time.Time  `json:"created"`
 	Finished *time.Time `json:"finished,omitempty"`
@@ -156,6 +160,7 @@ func (j *Job) Info() Info {
 	info := Info{
 		ID:       j.id,
 		Owner:    j.owner,
+		Meta:     j.meta,
 		Status:   j.status,
 		Created:  j.created,
 		Progress: j.progress,
@@ -182,12 +187,14 @@ func newID() string {
 
 // Start launches run as a new job under a context derived from parent:
 // cancelling parent (e.g. the graph session dying) or calling Cancel
-// aborts it. owner is an opaque tag recorded in Info (the session id).
-// onExit, when non-nil, runs after the job reaches its terminal state —
-// the store uses it to release the session's in-flight reservation.
-// Start fails with ErrTooMany at the concurrent-execution bound and
-// ErrClosed after Close.
-func (m *Manager) Start(parent context.Context, owner string, run Runner, onExit func()) (*Job, error) {
+// aborts it. owner is an opaque tag recorded in Info (the session id);
+// meta is an immutable caller-shaped annotation recorded alongside it
+// (nil for none — the store stamps the graph version a ranking started
+// on and its mutation policy). onExit, when non-nil, runs after the
+// job reaches its terminal state — the store uses it to release the
+// session's in-flight reservation. Start fails with ErrTooMany at the
+// concurrent-execution bound and ErrClosed after Close.
+func (m *Manager) Start(parent context.Context, owner string, meta any, run Runner, onExit func()) (*Job, error) {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -205,6 +212,7 @@ func (m *Manager) Start(parent context.Context, owner string, run Runner, onExit
 	j := &Job{
 		id:      id,
 		owner:   owner,
+		meta:    meta,
 		created: time.Now(),
 		cancel:  cancel,
 		done:    make(chan struct{}),

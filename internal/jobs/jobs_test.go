@@ -23,7 +23,7 @@ func waitTerminal(t *testing.T, j *Job) Info {
 func TestJobLifecycle(t *testing.T) {
 	m := NewManager(Config{})
 	exited := make(chan struct{})
-	j, err := m.Start(context.Background(), "g1", func(ctx context.Context, report func(any)) (any, error) {
+	j, err := m.Start(context.Background(), "g1", nil, func(ctx context.Context, report func(any)) (any, error) {
 		report("halfway")
 		return 42, nil
 	}, func() { close(exited) })
@@ -53,7 +53,7 @@ func TestJobProgressSnapshot(t *testing.T) {
 	m := NewManager(Config{})
 	reported := make(chan struct{})
 	release := make(chan struct{})
-	j, err := m.Start(context.Background(), "g", func(ctx context.Context, report func(any)) (any, error) {
+	j, err := m.Start(context.Background(), "g", nil, func(ctx context.Context, report func(any)) (any, error) {
 		report("round 1")
 		close(reported)
 		<-release
@@ -72,7 +72,7 @@ func TestJobProgressSnapshot(t *testing.T) {
 
 func TestJobCancel(t *testing.T) {
 	m := NewManager(Config{})
-	j, err := m.Start(context.Background(), "g", func(ctx context.Context, report func(any)) (any, error) {
+	j, err := m.Start(context.Background(), "g", nil, func(ctx context.Context, report func(any)) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}, nil)
@@ -98,7 +98,7 @@ func TestJobDiesWithParent(t *testing.T) {
 	m := NewManager(Config{})
 	sessionErr := errors.New("session closed")
 	parent, die := context.WithCancelCause(context.Background())
-	j, err := m.Start(parent, "g", func(ctx context.Context, report func(any)) (any, error) {
+	j, err := m.Start(parent, "g", nil, func(ctx context.Context, report func(any)) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}, nil)
@@ -115,7 +115,7 @@ func TestJobDiesWithParent(t *testing.T) {
 func TestJobFailure(t *testing.T) {
 	m := NewManager(Config{})
 	boom := errors.New("boom")
-	j, err := m.Start(context.Background(), "g", func(ctx context.Context, report func(any)) (any, error) {
+	j, err := m.Start(context.Background(), "g", nil, func(ctx context.Context, report func(any)) (any, error) {
 		return nil, boom
 	}, nil)
 	if err != nil {
@@ -134,22 +134,22 @@ func TestJobConcurrencyBound(t *testing.T) {
 		<-release
 		return nil, nil
 	}
-	j1, err := m.Start(context.Background(), "g", blocker, nil)
+	j1, err := m.Start(context.Background(), "g", nil, blocker, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	j2, err := m.Start(context.Background(), "g", blocker, nil)
+	j2, err := m.Start(context.Background(), "g", nil, blocker, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Start(context.Background(), "g", blocker, nil); !errors.Is(err, ErrTooMany) {
+	if _, err := m.Start(context.Background(), "g", nil, blocker, nil); !errors.Is(err, ErrTooMany) {
 		t.Fatalf("third job: want ErrTooMany, got %v", err)
 	}
 	close(release)
 	waitTerminal(t, j1)
 	waitTerminal(t, j2)
 	// Capacity is back.
-	j4, err := m.Start(context.Background(), "g", func(ctx context.Context, report func(any)) (any, error) {
+	j4, err := m.Start(context.Background(), "g", nil, func(ctx context.Context, report func(any)) (any, error) {
 		return nil, nil
 	}, nil)
 	if err != nil {
@@ -162,7 +162,7 @@ func TestJobRetentionEviction(t *testing.T) {
 	m := NewManager(Config{MaxRunning: 1, MaxTracked: 3})
 	var ids []string
 	for i := 0; i < 5; i++ {
-		j, err := m.Start(context.Background(), fmt.Sprintf("g%d", i),
+		j, err := m.Start(context.Background(), fmt.Sprintf("g%d", i), nil,
 			func(ctx context.Context, report func(any)) (any, error) { return i, nil }, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -184,7 +184,7 @@ func TestJobRetentionEviction(t *testing.T) {
 
 func TestManagerClose(t *testing.T) {
 	m := NewManager(Config{})
-	j, err := m.Start(context.Background(), "g", func(ctx context.Context, report func(any)) (any, error) {
+	j, err := m.Start(context.Background(), "g", nil, func(ctx context.Context, report func(any)) (any, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}, nil)
@@ -196,7 +196,7 @@ func TestManagerClose(t *testing.T) {
 	if info.Status != StatusCancelled || info.Error != ErrClosed.Error() {
 		t.Fatalf("want cancelled with ErrClosed cause, got %+v", info)
 	}
-	if _, err := m.Start(context.Background(), "g",
+	if _, err := m.Start(context.Background(), "g", nil,
 		func(ctx context.Context, report func(any)) (any, error) { return nil, nil }, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Start after Close: want ErrClosed, got %v", err)
 	}
@@ -205,7 +205,7 @@ func TestManagerClose(t *testing.T) {
 func TestJobList(t *testing.T) {
 	m := NewManager(Config{MaxRunning: 4})
 	for i := 0; i < 3; i++ {
-		j, err := m.Start(context.Background(), fmt.Sprintf("g%d", i),
+		j, err := m.Start(context.Background(), fmt.Sprintf("g%d", i), nil,
 			func(ctx context.Context, report func(any)) (any, error) { return nil, nil }, nil)
 		if err != nil {
 			t.Fatal(err)
@@ -219,5 +219,25 @@ func TestJobList(t *testing.T) {
 	// Newest first.
 	if list[0].Owner != "g2" || list[2].Owner != "g0" {
 		t.Fatalf("list order: %+v", list)
+	}
+}
+
+func TestJobMetaIsRecorded(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Close()
+	meta := map[string]any{"graph_version": uint64(3), "on_mutate": "cancel"}
+	j, err := m.Start(context.Background(), "g", meta, func(ctx context.Context, report func(any)) (any, error) {
+		return nil, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	got, ok := j.Info().Meta.(map[string]any)
+	if !ok {
+		t.Fatalf("meta = %#v, want the map passed at Start", j.Info().Meta)
+	}
+	if got["graph_version"] != uint64(3) || got["on_mutate"] != "cancel" {
+		t.Fatalf("meta = %#v", got)
 	}
 }

@@ -1,0 +1,274 @@
+package store
+
+// Dynamic graphs: PATCH /graphs/{id}/edges applies a batched edge
+// mutation to a session's graph. The batch is copy-on-write
+// (graph.ApplyEdits builds a fresh CSR one version ahead) and the
+// session's engine swaps to it atomically (engine.SwapGraph), so:
+//
+//   - estimates in flight when the batch lands keep running on their
+//     captured snapshot and return the pre-mutation answer
+//     bit-identically;
+//   - the next request sees the new graph, and the session's /stats
+//     and Info report the bumped version;
+//   - μ-cache entries provably unaffected by the batch (the
+//     biconnected-component retention rule, graph.AffectedByEdits)
+//     survive the swap and keep serving /exact without recomputation;
+//   - ranking jobs follow their on_mutate policy: "finish" (default)
+//     completes on the snapshot the job started on, "cancel" aborts
+//     the job with a versioned cause.
+//
+// Batches are validated as a whole and applied atomically; an
+// if_version precondition makes read-modify-write loops safe (409 on
+// mismatch). A batch that would disconnect the graph — which the
+// estimators cannot serve — is rejected with 400 and changes nothing.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bcmh/internal/engine"
+	"bcmh/internal/graph"
+)
+
+// MaxMutationEdits caps the edit count of one PATCH batch, mirroring
+// the other per-request guards (engine.MaxBatchTargets et al.).
+const MaxMutationEdits = 4096
+
+// EditRequest is one edge edit of a mutation batch, addressed by input
+// labels like every other vertex in the session API. W is the weight
+// of an added edge on weighted graphs (0 means 1).
+type EditRequest struct {
+	Op string  `json:"op"` // "add" | "remove"
+	U  int64   `json:"u"`
+	V  int64   `json:"v"`
+	W  float64 `json:"w,omitempty"`
+}
+
+// MutateRequest is the JSON body of PATCH /graphs/{id}/edges.
+type MutateRequest struct {
+	Edits []EditRequest `json:"edits"`
+	// IfVersion, when present, is a precondition: the batch applies
+	// only if the session's graph is still at exactly this version
+	// (409 otherwise). Absent means apply unconditionally.
+	IfVersion *uint64 `json:"if_version,omitempty"`
+}
+
+// MutateResponse is the JSON reply of PATCH /graphs/{id}/edges.
+type MutateResponse struct {
+	ID      string `json:"id"`
+	Version uint64 `json:"version"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Added   int    `json:"added"`
+	Removed int    `json:"removed"`
+	// Changed lists the labels whose adjacency changed.
+	Changed []int64 `json:"changed"`
+	// MuRetained/MuInvalidated report the μ-cache retention outcome of
+	// this batch's swap.
+	MuRetained    int   `json:"mu_retained"`
+	MuInvalidated int   `json:"mu_invalidated"`
+	Bytes         int64 `json:"bytes"`
+}
+
+// MutateOutcome is the library-level result of Store.Mutate.
+type MutateOutcome struct {
+	Info    Info
+	Added   int
+	Removed int
+	// Changed lists the engine vertex ids whose adjacency changed.
+	Changed []int
+	Swap    engine.SwapReport
+}
+
+// vertexOfLabel resolves an input label to an engine vertex id,
+// building the reverse table on first use (the label table is
+// immutable — mutations keep vertex ids stable).
+func (s *Session) vertexOfLabel(label int64) (int, error) {
+	if s.labels == nil {
+		v := int(label)
+		if v < 0 || int64(v) != label || v >= s.eng.Graph().N() {
+			return 0, fmt.Errorf("store: %w %d", engine.ErrUnknownVertex, label)
+		}
+		return v, nil
+	}
+	s.byLabelOnce.Do(func() {
+		m := make(map[int64]int, len(s.labels))
+		for v, l := range s.labels {
+			m[l] = v
+		}
+		s.byLabel = m
+	})
+	v, ok := s.byLabel[label]
+	if !ok {
+		return 0, fmt.Errorf("store: %w label %d (dropped with a smaller component, or absent from the input)", engine.ErrUnknownVertex, label)
+	}
+	return v, nil
+}
+
+// labelFor is vertexOfLabel's inverse, for responses.
+func (s *Session) labelFor(v int) int64 {
+	if s.labels == nil {
+		return int64(v)
+	}
+	return s.labels[v]
+}
+
+// mutationSignal returns a channel closed at the next mutation.
+// Watchers must re-check the version after subscribing (a mutation may
+// have landed between their snapshot and the subscription).
+func (s *Session) mutationSignal() <-chan struct{} {
+	s.verMu.Lock()
+	defer s.verMu.Unlock()
+	if s.verCh == nil {
+		s.verCh = make(chan struct{})
+	}
+	return s.verCh
+}
+
+// signalMutation wakes every watcher of the previous signal channel.
+func (s *Session) signalMutation() {
+	s.verMu.Lock()
+	defer s.verMu.Unlock()
+	if s.verCh != nil {
+		close(s.verCh)
+		s.verCh = nil
+	}
+}
+
+// Mutate applies an edit batch (engine vertex ids) to sess's graph:
+// precondition check, copy-on-write merge, connectivity and budget
+// validation, atomic engine swap, budget re-accounting, and the
+// mutation broadcast for on_mutate=cancel jobs. Batches on one session
+// are serialized; concurrent estimates are never blocked (they run on
+// snapshots).
+func (st *Store) Mutate(sess *Session, edits []graph.Edit, ifVersion *uint64) (MutateOutcome, error) {
+	if len(edits) == 0 {
+		return MutateOutcome{}, fmt.Errorf("store: empty edit batch")
+	}
+	if len(edits) > MaxMutationEdits {
+		return MutateOutcome{}, fmt.Errorf("store: batch of %d edits exceeds the limit %d", len(edits), MaxMutationEdits)
+	}
+	sess.mutMtx.Lock()
+	defer sess.mutMtx.Unlock()
+	if sess.Closed() {
+		return MutateOutcome{}, ErrSessionClosed
+	}
+	cur := sess.eng.Graph()
+	if ifVersion != nil && *ifVersion != cur.Version() {
+		return MutateOutcome{}, fmt.Errorf("%w: if_version %d, session %q is at version %d",
+			ErrVersionConflict, *ifVersion, sess.id, cur.Version())
+	}
+	next, rep, err := graph.ApplyEdits(cur, edits)
+	if err != nil {
+		// Per-edge rejections carry engine vertex ids; translate them
+		// back to the labels the client actually sent.
+		var ee *graph.EditError
+		if errors.As(err, &ee) {
+			return MutateOutcome{}, fmt.Errorf("store: edge (%d,%d): %s", sess.labelFor(ee.U), sess.labelFor(ee.V), ee.Reason)
+		}
+		return MutateOutcome{}, err
+	}
+	if !graph.IsConnected(next) {
+		return MutateOutcome{}, fmt.Errorf("store: edit batch would disconnect the graph (the estimators require a connected graph); batch rejected")
+	}
+	newCost := sessionCost(next.N(), next.M())
+	if newCost > st.cfg.MaxBytes {
+		return MutateOutcome{}, fmt.Errorf("%w: mutated session %q needs ~%d bytes, budget is %d",
+			ErrTooLarge, sess.id, newCost, st.cfg.MaxBytes)
+	}
+	swap, err := sess.eng.SwapGraph(next, rep.Pairs)
+	if err != nil {
+		return MutateOutcome{}, err
+	}
+	st.recost(sess, newCost)
+	sess.mutations.Add(1)
+	sess.signalMutation()
+	return MutateOutcome{
+		Info:    sess.info(),
+		Added:   rep.Added,
+		Removed: rep.Removed,
+		Changed: rep.Changed,
+		Swap:    swap,
+	}, nil
+}
+
+// mutateStatus maps mutation-path errors onto pinned statuses: version
+// conflicts 409, unknown labels 404, over-budget 413, closed sessions
+// 503, malformed/rejected batches 400.
+func mutateStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrVersionConflict):
+		return http.StatusConflict
+	case errors.Is(err, engine.ErrUnknownVertex):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrStoreClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// handleMutate serves PATCH /graphs/{id}/edges.
+func (s *storeServer) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		engine.WriteError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		return
+	}
+	sess, release, err := s.st.Acquire(r.PathValue("id"))
+	if err != nil {
+		engine.WriteError(w, storeStatus(err), err)
+		return
+	}
+	defer release()
+	edits := make([]graph.Edit, len(req.Edits))
+	for i, e := range req.Edits {
+		var op graph.EditOp
+		switch e.Op {
+		case graph.EditAdd.String():
+			op = graph.EditAdd
+		case graph.EditRemove.String():
+			op = graph.EditRemove
+		default:
+			engine.WriteError(w, http.StatusBadRequest,
+				fmt.Errorf("edit %d: unknown op %q (want %q or %q)", i, e.Op, graph.EditAdd, graph.EditRemove))
+			return
+		}
+		u, err := sess.vertexOfLabel(e.U)
+		if err != nil {
+			engine.WriteError(w, mutateStatus(err), fmt.Errorf("edit %d: %w", i, err))
+			return
+		}
+		v, err := sess.vertexOfLabel(e.V)
+		if err != nil {
+			engine.WriteError(w, mutateStatus(err), fmt.Errorf("edit %d: %w", i, err))
+			return
+		}
+		edits[i] = graph.Edit{Op: op, U: u, V: v, W: e.W}
+	}
+	out, err := s.st.Mutate(sess, edits, req.IfVersion)
+	if err != nil {
+		engine.WriteError(w, mutateStatus(err), err)
+		return
+	}
+	changed := make([]int64, len(out.Changed))
+	for i, v := range out.Changed {
+		changed[i] = sess.labelFor(v)
+	}
+	engine.WriteJSON(w, http.StatusOK, MutateResponse{
+		ID:            out.Info.ID,
+		Version:       out.Info.Version,
+		N:             out.Info.N,
+		M:             out.Info.M,
+		Added:         out.Added,
+		Removed:       out.Removed,
+		Changed:       changed,
+		MuRetained:    out.Swap.MuRetained,
+		MuInvalidated: out.Swap.MuInvalidated,
+		Bytes:         out.Info.Bytes,
+	})
+}

@@ -76,7 +76,21 @@ type RankRequest struct {
 	// it), false always starts a job (202). Unset picks by graph size —
 	// at most ServerOptions.SyncRankN vertices runs synchronously.
 	Sync *bool `json:"sync,omitempty"`
+	// OnMutate picks the job's fate when the session's graph mutates
+	// mid-run: "finish" (default) completes on the snapshot the job
+	// started on — every chain stays bit-identical to a no-mutation
+	// run, the result just describes the version stamped in the
+	// payloads; "cancel" aborts the job promptly with a versioned cause
+	// (the record reports which version invalidated it). Synchronous
+	// rankings always behave like "finish".
+	OnMutate string `json:"on_mutate,omitempty"`
 }
+
+// OnMutate policies.
+const (
+	OnMutateFinish = "finish"
+	OnMutateCancel = "cancel"
+)
 
 func (req *RankRequest) validate() error {
 	switch {
@@ -101,6 +115,11 @@ func (req *RankRequest) validate() error {
 	}
 	if _, err := parseRankEstimator(req.Estimator); err != nil {
 		return err
+	}
+	switch req.OnMutate {
+	case "", OnMutateFinish, OnMutateCancel:
+	default:
+		return fmt.Errorf("unknown on_mutate policy %q (want %q or %q)", req.OnMutate, OnMutateFinish, OnMutateCancel)
 	}
 	return nil
 }
@@ -150,25 +169,30 @@ type RankEntry struct {
 
 // RankProgress is the progress payload of a running ranking job
 // (GET /jobs/{id} while status is "running"): the completed round
-// count, surviving candidates, steps spent, and the partial ranking.
+// count, surviving candidates, steps spent, the partial ranking, and
+// the graph version the job's snapshot was captured from.
 type RankProgress struct {
-	Round      int         `json:"round"`
-	Active     int         `json:"active"`
-	TotalSteps int         `json:"total_steps"`
-	Top        []RankEntry `json:"top"`
+	Round        int         `json:"round"`
+	Active       int         `json:"active"`
+	TotalSteps   int         `json:"total_steps"`
+	GraphVersion uint64      `json:"graph_version"`
+	Top          []RankEntry `json:"top"`
 }
 
 // RankResult is the final payload: POST's body in synchronous mode, the
-// job's result field otherwise.
+// job's result field otherwise. GraphVersion is the version the whole
+// ranking ran on — rankings are snapshot-isolated, so a mutation
+// landing mid-job never mixes versions inside one result.
 type RankResult struct {
-	Graph      string      `json:"graph"`
-	K          int         `json:"k"`
-	Top        []RankEntry `json:"top"`
-	Candidates int         `json:"candidates"`
-	Pruned     int         `json:"pruned"`
-	Rounds     int         `json:"rounds"`
-	TotalSteps int         `json:"total_steps"`
-	ElapsedMS  float64     `json:"elapsed_ms"`
+	Graph        string      `json:"graph"`
+	GraphVersion uint64      `json:"graph_version"`
+	K            int         `json:"k"`
+	Top          []RankEntry `json:"top"`
+	Candidates   int         `json:"candidates"`
+	Pruned       int         `json:"pruned"`
+	Rounds       int         `json:"rounds"`
+	TotalSteps   int         `json:"total_steps"`
+	ElapsedMS    float64     `json:"elapsed_ms"`
 }
 
 // JobListResponse is the JSON reply of GET /jobs.
@@ -205,17 +229,44 @@ func labelEntries(sess *Session, in []rank.Entry) []RankEntry {
 	return out
 }
 
-func rankResult(sess *Session, res rank.Result, elapsed time.Duration) RankResult {
+func rankResult(sess *Session, version uint64, res rank.Result, elapsed time.Duration) RankResult {
 	return RankResult{
-		Graph:      sess.ID(),
-		K:          len(res.TopK),
-		Top:        labelEntries(sess, res.TopK),
-		Candidates: len(res.All),
-		Pruned:     res.Pruned,
-		Rounds:     res.Rounds,
-		TotalSteps: res.TotalSteps,
-		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Graph:        sess.ID(),
+		GraphVersion: version,
+		K:            len(res.TopK),
+		Top:          labelEntries(sess, res.TopK),
+		Candidates:   len(res.All),
+		Pruned:       res.Pruned,
+		Rounds:       res.Rounds,
+		TotalSteps:   res.TotalSteps,
+		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
 	}
+}
+
+// watchMutations cancels (with a versioned ErrMutatedUnderJob cause)
+// as soon as sess's graph leaves startVersion — the on_mutate=cancel
+// machinery. The returned stop function releases the watcher.
+func watchMutations(sess *Session, startVersion uint64, cancel context.CancelCauseFunc) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		for {
+			// Subscribe first, then re-check the version: a mutation
+			// landing between the check and the subscription would
+			// otherwise be missed forever.
+			ch := sess.mutationSignal()
+			if v := sess.Engine().Version(); v != startVersion {
+				cancel(fmt.Errorf("%w: session %q is now at graph version %d (job ran on version %d, on_mutate=%s)",
+					ErrMutatedUnderJob, sess.ID(), v, startVersion, OnMutateCancel))
+				return
+			}
+			select {
+			case <-ch:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 // handleRank serves POST /graphs/{id}/rank: validate, acquire the
@@ -239,6 +290,15 @@ func (s *storeServer) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	eng := sess.Engine()
 	opts := req.options()
+	// One consistent snapshot for the whole ranking: graph, pool, and
+	// version are captured together, so a mutation landing mid-run can
+	// never hand the ranker a pool sized for a different CSR, and the
+	// whole result is attributable to one version.
+	snap := eng.Snapshot()
+	policy := req.OnMutate
+	if policy == "" {
+		policy = OnMutateFinish
+	}
 
 	// The synchronous path is a *small-graph* fast path: allowed by the
 	// operator threshold, or forced by the request — but only up to the
@@ -248,7 +308,7 @@ func (s *storeServer) handleRank(w http.ResponseWriter, r *http.Request) {
 	if syncCap < DefaultSyncRankCap {
 		syncCap = DefaultSyncRankCap
 	}
-	n := eng.Graph().N()
+	n := snap.Graph.N()
 	sync := n <= s.opts.SyncRankN
 	if req.Sync != nil {
 		sync = *req.Sync
@@ -264,30 +324,47 @@ func (s *storeServer) handleRank(w http.ResponseWriter, r *http.Request) {
 		ctx, stop := sess.RequestContext(r.Context())
 		defer stop()
 		start := time.Now()
-		res, err := rank.Run(ctx, eng.Graph(), eng.Pool(), opts, nil)
+		res, err := rank.Run(ctx, snap.Graph, snap.Pool, opts, nil)
 		if err != nil {
 			status, mapped := engine.StatusForError(ctx, err)
 			engine.WriteError(w, status, mapped)
 			return
 		}
-		engine.WriteJSON(w, http.StatusOK, rankResult(sess, res, time.Since(start)))
+		engine.WriteJSON(w, http.StatusOK, rankResult(sess, snap.Version, res, time.Since(start)))
 		return
 	}
 
-	job, err := s.jobs.Start(sess.Context(), sess.ID(), func(ctx context.Context, report func(any)) (any, error) {
+	meta := map[string]any{"graph_version": snap.Version, "on_mutate": policy}
+	job, err := s.jobs.Start(sess.Context(), sess.ID(), meta, func(ctx context.Context, report func(any)) (any, error) {
+		if policy == OnMutateCancel {
+			mctx, mcancel := context.WithCancelCause(ctx)
+			defer mcancel(context.Canceled)
+			stop := watchMutations(sess, snap.Version, mcancel)
+			defer stop()
+			ctx = mctx
+		}
 		start := time.Now()
-		res, err := rank.Run(ctx, eng.Graph(), eng.Pool(), opts, func(p rank.Progress) {
+		res, err := rank.Run(ctx, snap.Graph, snap.Pool, opts, func(p rank.Progress) {
 			report(RankProgress{
-				Round:      p.Round,
-				Active:     p.Active,
-				TotalSteps: p.TotalSteps,
-				Top:        labelEntries(sess, p.Top),
+				Round:        p.Round,
+				Active:       p.Active,
+				TotalSteps:   p.TotalSteps,
+				GraphVersion: snap.Version,
+				Top:          labelEntries(sess, p.Top),
 			})
 		})
 		if err != nil {
+			// The mutation watcher's cause lives on the wrapped context,
+			// which the job manager cannot see — fold it into the error
+			// so the job record reports the versioned cause (the %w
+			// keeps errors.Is(err, context.Canceled) true, so the job
+			// still finalizes as cancelled, not failed).
+			if cause := context.Cause(ctx); cause != nil && errors.Is(cause, ErrMutatedUnderJob) {
+				err = fmt.Errorf("%v: %w", cause, err)
+			}
 			return nil, err
 		}
-		return rankResult(sess, res, time.Since(start)), nil
+		return rankResult(sess, snap.Version, res, time.Since(start)), nil
 	}, release)
 	if err != nil {
 		release()

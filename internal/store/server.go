@@ -69,6 +69,7 @@ type ServerOptions struct {
 //	GET    /graphs                      list sessions + store budget counters
 //	GET    /graphs/{id}                 describe one session
 //	DELETE /graphs/{id}                 delete a session (aborts its in-flight work)
+//	PATCH  /graphs/{id}/edges           apply an edge-mutation batch (MutateRequest)
 //	POST   /graphs/{id}/estimate        engine.EstimateRequest
 //	POST   /graphs/{id}/estimate/batch  engine.BatchRequest
 //	GET    /graphs/{id}/exact/{v}       exact betweenness
@@ -110,6 +111,9 @@ func NewServerWithOptions(st *Store, opts ServerOptions) http.Handler {
 	// Ranking and jobs (rank.go). The literal "rank" segment outranks
 	// the {rest...} wildcard below, so this route wins for /rank.
 	mux.HandleFunc("POST /graphs/{id}/rank", s.handleRank)
+	// Edge mutation (mutate.go); literal "edges" outranks {rest...}
+	// the same way.
+	mux.HandleFunc("PATCH /graphs/{id}/edges", s.handleMutate)
 	mux.HandleFunc("GET /jobs", s.handleJobList)
 	mux.HandleFunc("GET /jobs/{jid}", s.handleJob)
 	mux.HandleFunc("DELETE /jobs/{jid}", s.handleJobCancel)
@@ -283,12 +287,17 @@ func (s *Session) sessionHandler() http.Handler {
 		inner := engine.NewServerWithLabels(s.eng, s.labels)
 		mux := http.NewServeMux()
 		mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-			g := s.eng.Graph()
+			// One snapshot for n/m/version: a PATCH landing between two
+			// separate engine reads must not yield a mixed-version reply
+			// (version 1 with version 0's edge count).
+			snap := s.eng.Snapshot()
+			stats := s.eng.Stats()
+			stats.Version = snap.Version
 			engine.WriteJSON(w, http.StatusOK, SessionStatsResponse{
 				ID:    s.id,
-				N:     g.N(),
-				M:     g.M(),
-				Stats: s.eng.Stats(),
+				N:     snap.Graph.N(),
+				M:     snap.Graph.M(),
+				Stats: stats,
 			})
 		})
 		mux.Handle("/", inner)

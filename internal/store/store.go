@@ -6,8 +6,12 @@
 //
 // Each session owns a full engine.Engine (μ-cache, result LRU, buffer
 // pools, target-snapshot cache), the label table mapping input-file
-// vertex ids to engine ids, and a session-scoped context. The store
-// enforces:
+// vertex ids to engine ids, and a session-scoped context. Sessions
+// are dynamic: a batched edge-mutation API (mutate.go; PATCH
+// /graphs/{id}/edges over HTTP) rewrites a session's graph
+// copy-on-write, bumping its version, re-accounting its budget share,
+// and leaving in-flight work snapshot-isolated on the old CSR. The
+// store enforces:
 //
 //   - a total memory budget: when the estimated resident cost of all
 //     sessions exceeds Config.MaxBytes (or their count exceeds
@@ -61,6 +65,13 @@ var (
 	// store closes. In-flight estimates on that session abort with a
 	// context error whose context.Cause is this value (503).
 	ErrSessionClosed = errors.New("store: graph session closed")
+	// ErrVersionConflict: a mutation's if_version precondition did not
+	// match the session's current graph version (409).
+	ErrVersionConflict = errors.New("store: graph version conflict")
+	// ErrMutatedUnderJob is the versioned cancellation cause installed
+	// on a job's context when its session's graph mutates and the job
+	// was started with the on_mutate=cancel policy.
+	ErrMutatedUnderJob = errors.New("store: graph mutated under job")
 )
 
 // Defaults for the zero Config.
@@ -137,8 +148,8 @@ func New(cfg Config) *Store {
 type Session struct {
 	id      string
 	eng     *engine.Engine
-	labels  []int64 // engine vertex -> input label (nil: identity)
-	cost    int64
+	labels  []int64      // engine vertex -> input label (nil: identity)
+	cost    atomic.Int64 // mutations re-estimate it (edge count changes)
 	pinned  bool
 	created time.Time
 
@@ -150,6 +161,18 @@ type Session struct {
 
 	handlerOnce sync.Once // lazy per-session HTTP handler (server.go)
 	handler     httpHandler
+
+	// Mutation state (mutate.go): mutMtx serializes edit batches so
+	// if_version preconditions are atomic; mutations counts applied
+	// batches; byLabel is the lazily built label→vertex table edits are
+	// addressed through; verCh is the close-and-replace broadcast jobs
+	// with the on_mutate=cancel policy watch.
+	mutMtx      sync.Mutex
+	mutations   atomic.Uint64
+	byLabelOnce sync.Once
+	byLabel     map[int64]int
+	verMu       sync.Mutex
+	verCh       chan struct{}
 }
 
 // ID returns the session's store id.
@@ -166,8 +189,14 @@ func (s *Session) Labels() []int64 { return s.labels }
 // Cost is the session's estimated resident memory in bytes, the value
 // the store's budget accounting uses. It is a deliberate proxy — CSR
 // arrays, label tables, and a fixed allowance for the engine's caches —
-// not a measurement.
-func (s *Session) Cost() int64 { return s.cost }
+// not a measurement. Mutations re-estimate it (the edge count moves).
+func (s *Session) Cost() int64 { return s.cost.Load() }
+
+// Version returns the session's current graph version.
+func (s *Session) Version() uint64 { return s.eng.Version() }
+
+// Mutations returns the number of edit batches applied to the session.
+func (s *Session) Mutations() uint64 { return s.mutations.Load() }
 
 // Pinned reports whether the session is exempt from LRU eviction
 // (sessions preloaded at server startup are).
@@ -346,12 +375,12 @@ func (st *Store) newSession(id string, g *graph.Graph, idOf []int64, pinned bool
 		id:      id,
 		eng:     eng,
 		labels:  composeLabels(eng, idOf),
-		cost:    cost,
 		pinned:  pinned,
 		created: now,
 		ctx:     ctx,
 		cancel:  cancel,
 	}
+	sess.cost.Store(cost)
 	sess.lastUsed.Store(now.UnixNano())
 	return sess, nil
 }
@@ -384,9 +413,21 @@ func (st *Store) insertLocked(sess *Session) error {
 	}
 	el := st.lru.PushFront(sess)
 	st.sessions[sess.id] = el
-	st.total += sess.cost
+	st.total += sess.Cost()
 	st.evictLocked(sess)
 	return nil
+}
+
+// recost re-accounts a session's budget share after a mutation changed
+// its estimated size, evicting idle sessions if the store went over.
+func (st *Store) recost(sess *Session, newCost int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	old := sess.cost.Swap(newCost)
+	if el, ok := st.sessions[sess.id]; ok && el.Value.(*Session) == sess && !st.closed {
+		st.total += newCost - old
+		st.evictLocked(sess)
+	}
 }
 
 // evictLocked walks the LRU tail evicting idle, unpinned sessions
@@ -415,7 +456,7 @@ func (st *Store) evictLocked(keep *Session) {
 func (st *Store) removeLocked(el *list.Element, sess *Session) {
 	st.lru.Remove(el)
 	delete(st.sessions, sess.id)
-	st.total -= sess.cost
+	st.total -= sess.Cost()
 	sess.cancel(ErrSessionClosed)
 }
 
@@ -494,27 +535,34 @@ func (st *Store) Delete(id string) error {
 // Info is a point-in-time description of one session, JSON-shaped for
 // the management API.
 type Info struct {
-	ID       string    `json:"id"`
-	N        int       `json:"n"`
-	M        int       `json:"m"`
-	Bytes    int64     `json:"bytes"`
-	Pinned   bool      `json:"pinned"`
-	Active   int64     `json:"active"`
-	Created  time.Time `json:"created"`
-	LastUsed time.Time `json:"last_used"`
+	ID string `json:"id"`
+	N  int    `json:"n"`
+	M  int    `json:"m"`
+	// Version is the session's current graph version (0 at creation,
+	// +1 per applied edit batch); Mutations counts applied batches.
+	Version   uint64    `json:"version"`
+	Mutations uint64    `json:"mutations"`
+	Bytes     int64     `json:"bytes"`
+	Pinned    bool      `json:"pinned"`
+	Active    int64     `json:"active"`
+	Created   time.Time `json:"created"`
+	LastUsed  time.Time `json:"last_used"`
 }
 
 func (s *Session) info() Info {
-	g := s.eng.Graph()
+	snap := s.eng.Snapshot()
+	g := snap.Graph
 	return Info{
-		ID:       s.id,
-		N:        g.N(),
-		M:        g.M(),
-		Bytes:    s.cost,
-		Pinned:   s.pinned,
-		Active:   s.active.Load(),
-		Created:  s.created,
-		LastUsed: s.LastUsed(),
+		ID:        s.id,
+		N:         g.N(),
+		M:         g.M(),
+		Version:   snap.Version,
+		Mutations: s.mutations.Load(),
+		Bytes:     s.Cost(),
+		Pinned:    s.pinned,
+		Active:    s.active.Load(),
+		Created:   s.created,
+		LastUsed:  s.LastUsed(),
 	}
 }
 
