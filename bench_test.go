@@ -293,6 +293,25 @@ func BenchmarkEngineBatch32(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineBatch32Weighted is BenchmarkEngineBatch32 on the
+// weighted twin of the workload: the same 32 overlapping targets, with
+// μ derivation and every chain step going through the weighted
+// (Dijkstra identity) oracle route instead of the BFS one.
+func BenchmarkEngineBatch32Weighted(b *testing.B) {
+	targets := batchTargets()
+	opts := engine.BatchOptions{Estimation: batchBenchOpts(), Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := engine.New(fixWBA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.EstimateBatch(targets, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineBatch32Warm is the steady-state variant: one engine
 // across iterations, so after the first batch every request is a
 // result-cache hit — the serving regime the ROADMAP's multi-user

@@ -44,14 +44,19 @@
 // # Dependency-oracle fast path
 //
 // The samplers' hot path — one δ_v•(r) evaluation per MH step — is
-// served by one of two routes, selected automatically: unweighted
+// served by one of three routes, selected automatically. Unweighted
 // undirected graphs use the identity-based fast oracle (a cached
 // target-side SPD plus one specialized epoch-reset BFS and an O(n)
-// scan per evaluation; sssp.BFS + brandes.DependencyOnTargetIdentity),
-// while weighted or directed graphs keep the reference Brandes
-// accumulation (brandes.DependencyOnTarget). See README.md for the
-// selection rules, equivalence guarantees, and measured speedups, and
-// scripts/bench.sh for the benchmark-tracking workflow.
+// scan per evaluation; sssp.BFS + brandes.DependencyOnTargetIdentity).
+// Weighted undirected graphs take the same identity shape on a
+// specialized Dijkstra kernel (sssp.Dijkstra — a calendar-queue bucket
+// scan when the weight range allows, a 4-ary heap otherwise, both with
+// epoch-stamped O(1) reset; brandes.DependencyOnTargetIdentityWeighted
+// against a cached sssp.WeightedTargetSPD). Only directed graphs keep
+// the reference Brandes accumulation (brandes.DependencyOnTarget). See
+// README.md for the selection rules, equivalence guarantees, and
+// measured speedups, and scripts/bench.sh for the benchmark-tracking
+// workflow.
 //
 // # Serving model and cancellation
 //

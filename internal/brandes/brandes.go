@@ -164,10 +164,10 @@ func DependencyVector(g *graph.Graph, r int) []float64 {
 }
 
 // DependencyVectorParallel is DependencyVector with sources fanned out
-// over `workers` goroutines (0 = GOMAXPROCS). Unweighted undirected
-// graphs take the identity fast path (one shared target-side BFS, then
-// a forward BFS plus O(n) scan per source — see identity.go); weighted
-// or directed graphs run the reference Brandes accumulation per source.
+// over `workers` goroutines (0 = GOMAXPROCS). Undirected graphs take
+// the identity fast path (one shared target-side traversal, then a
+// forward BFS/Dijkstra plus O(n) scan per source — see identity.go);
+// directed graphs run the reference Brandes accumulation per source.
 func DependencyVectorParallel(g *graph.Graph, r int, workers int) []float64 {
 	out, _ := DependencyVectorParallelContext(context.Background(), g, r, workers)
 	return out
@@ -183,7 +183,10 @@ func DependencyVectorParallelContext(ctx context.Context, g *graph.Graph, r int,
 	if r < 0 || r >= n {
 		panic("brandes: DependencyVector target out of range")
 	}
-	if !g.Weighted() && !g.Directed() {
+	if !g.Directed() {
+		if g.Weighted() {
+			return DependencyVectorWithWeightedTargetContext(ctx, g, sssp.NewWeightedTargetSPD(sssp.NewDijkstra(g), r), workers)
+		}
 		return DependencyVectorWithTargetContext(ctx, g, sssp.NewTargetSPD(sssp.NewBFS(g), r), workers)
 	}
 	out := make([]float64, n)

@@ -2,6 +2,7 @@ package brandes
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
 
@@ -10,20 +11,24 @@ import (
 )
 
 // Identity-based dependency evaluation — the fast oracle behind the MH
-// hot path. For an unweighted undirected graph and a fixed target r,
-// the pair-dependency identity
+// hot path. For an undirected graph and a fixed target r, the
+// pair-dependency identity
 //
 //	δ_v•(r) = Σ_{t ≠ v,r} [d(v,r)+d(r,t) = d(v,t)] · σ_vr·σ_rt / σ_vt
 //
-// turns one dependency query into a single forward BFS from v plus an
-// O(n) scan against the shortest-path data rooted at r — no Brandes
-// backward accumulation, no per-edge shortest-path-membership checks.
-// Since r is fixed for an entire MH chain, its side of the identity
-// (sssp.TargetSPD) is computed once and read on every step.
+// turns one dependency query into a single forward traversal from v
+// plus an O(n) scan against the shortest-path data rooted at r — no
+// Brandes backward accumulation, no per-edge shortest-path-membership
+// checks. Since r is fixed for an entire MH chain, its side of the
+// identity (sssp.TargetSPD / sssp.WeightedTargetSPD) is computed once
+// and read on every step. Unweighted graphs use the BFS kernel with
+// exact integer distance tests; weighted graphs use the Dijkstra
+// kernel with the shared sssp.WeightEps relative tolerance, the same
+// rule the reference traversal classifies ties with.
 //
 // DependencyOnTarget in brandes.go remains the reference evaluator: it
-// is the route weighted and directed graphs take, and the baseline the
-// equivalence tests (internal/mcmc) hold the identity path to.
+// is the route directed graphs take, and the baseline the equivalence
+// tests (internal/mcmc) hold both identity paths to.
 
 // DependencyOnTargetIdentity returns δ_v•(ts.Target) evaluated via the
 // pair-dependency identity. vb must already hold the traversal from v
@@ -119,6 +124,114 @@ func DependencyVectorWithTargetContext(ctx context.Context, g *graph.Graph, ts *
 		go func(w int) {
 			defer wg.Done()
 			errs[w] = dependencyColumnIdentityContext(ctx, sssp.NewBFS(g), ts, out, w, n, workers) // disjoint writes
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DependencyOnTargetIdentityWeighted returns δ_v•(ts.Target) evaluated
+// via the pair-dependency identity on a weighted undirected graph. vd
+// must already hold the traversal from v (vd.Run(v) was the last run);
+// ts is the cached target-side snapshot. The distance test uses the
+// shared sssp.WeightEps relative tolerance, so an edge tie classified
+// as shortest by the reference traversal is classified identically
+// here. As with the unweighted variant, the graph must be undirected:
+// the identity reads σ_vr and d(v,r) from v's traversal, which equal
+// σ_rv and d(r,v) only under symmetry.
+func DependencyOnTargetIdentityWeighted(vd *sssp.Dijkstra, ts *sssp.WeightedTargetSPD, v int) float64 {
+	r := ts.Target
+	if v == r || !vd.Reached(r) {
+		// δ_r•(r) = 0 by definition; an unreachable target lies on no
+		// path from v at all.
+		return 0
+	}
+	dvr := vd.DistOf(r)
+	svr := vd.SigmaOf(r)
+	var sum float64
+	// Sequential scan over all t, arrays read in index order. t == v
+	// never passes the distance test (dvr ≥ the minimum edge weight,
+	// drt ≥ 0 versus dist(v,v) = 0, far outside the tolerance); t == r
+	// always passes it (drt = 0) and is excluded explicitly.
+	for t, drt := range ts.Dist {
+		if drt < 0 || t == r || !vd.Reached(t) {
+			continue
+		}
+		dvt := vd.DistOf(t)
+		if math.Abs(dvr+drt-dvt) <= sssp.WeightEps*(1+math.Abs(dvt)) {
+			sum += svr * ts.Sigma[t] / vd.SigmaOf(t)
+		}
+	}
+	return sum
+}
+
+// DependencyColumnIdentityWeighted fills out[v] = δ_v•(ts.Target) for
+// every vertex, running one Dijkstra per source on vd — the weighted
+// identity-path equivalent of n DependencyOnTarget calls sharing one
+// target snapshot.
+func DependencyColumnIdentityWeighted(vd *sssp.Dijkstra, ts *sssp.WeightedTargetSPD, out []float64, from, to, stride int) {
+	for v := from; v < to; v += stride {
+		vd.Run(v)
+		out[v] = DependencyOnTargetIdentityWeighted(vd, ts, v)
+	}
+}
+
+// dependencyColumnIdentityWeightedContext is
+// DependencyColumnIdentityWeighted polling ctx before every source
+// traversal; on cancellation it stops with ctx's error and out left
+// partially filled.
+func dependencyColumnIdentityWeightedContext(ctx context.Context, vd *sssp.Dijkstra, ts *sssp.WeightedTargetSPD, out []float64, from, to, stride int) error {
+	for v := from; v < to; v += stride {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		vd.Run(v)
+		out[v] = DependencyOnTargetIdentityWeighted(vd, ts, v)
+	}
+	return nil
+}
+
+// DependencyVectorWithWeightedTarget is the weighted identity-route
+// dependency column for a prebuilt target-side snapshot — the analog of
+// DependencyVectorWithTarget for weighted undirected graphs. g must be
+// the graph ts was built on; workers as in DependencyVectorParallel.
+func DependencyVectorWithWeightedTarget(g *graph.Graph, ts *sssp.WeightedTargetSPD, workers int) []float64 {
+	out, _ := DependencyVectorWithWeightedTargetContext(context.Background(), g, ts, workers)
+	return out
+}
+
+// DependencyVectorWithWeightedTargetContext is
+// DependencyVectorWithWeightedTarget under a context: every worker
+// polls ctx between source traversals, so a cancelled column
+// computation stops within one Dijkstra per worker. On cancellation the
+// returned slice is nil and the error is ctx's.
+func DependencyVectorWithWeightedTargetContext(ctx context.Context, g *graph.Graph, ts *sssp.WeightedTargetSPD, workers int) ([]float64, error) {
+	n := g.N()
+	out := make([]float64, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if err := dependencyColumnIdentityWeightedContext(ctx, sssp.NewDijkstra(g), ts, out, 0, n, 1); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = dependencyColumnIdentityWeightedContext(ctx, sssp.NewDijkstra(g), ts, out, w, n, workers) // disjoint writes
 		}(w)
 	}
 	wg.Wait()

@@ -233,6 +233,51 @@ func TestBatchEntryReproducibleViaEstimate(t *testing.T) {
 	}
 }
 
+func TestEstimateMatchesCoreWeighted(t *testing.T) {
+	// The weighted (Dijkstra identity) oracle route under the engine:
+	// same pure-cache contract as TestEstimateMatchesCore, and batch
+	// entries replay through single Estimates, on a weighted graph.
+	g := graph.WithUniformWeights(graph.KarateClub(), 1, 9, rng.New(91))
+	e, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 2, 33} {
+		opts := core.Options{Steps: 400, Seed: 7}
+		want, err := core.EstimateBC(g, r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Estimate(r, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Value != want.Value || got.MuUsed != want.MuUsed {
+			t.Fatalf("vertex %d: engine %+v != core %+v", r, got, want)
+		}
+	}
+	targets := []int{0, 2, 33, 0, 2, 33}
+	results, err := e.EstimateBatch(targets, BatchOptions{Estimation: plannedOpts(), Seed: 5, Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range targets {
+		o := plannedOpts()
+		o.Seed = SeedFor(5, r)
+		est, err := single.Estimate(r, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Value != results[i].Estimate.Value {
+			t.Fatalf("target %d: replay %v != batch %v", r, est.Value, results[i].Estimate.Value)
+		}
+	}
+}
+
 func TestBatchSharesWorkAcrossDuplicates(t *testing.T) {
 	// 4 distinct vertices requested 4× each: μ computed once per
 	// distinct vertex and each chain run once — duplicates are

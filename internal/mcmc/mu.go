@@ -96,6 +96,13 @@ func MuExactPooledContext(ctx context.Context, g *graph.Graph, r int, pool *Buff
 			}
 			return MuFromDeps(deps), nil
 		}
+		if ts := pool.weightedTargetSPD(r); ts != nil {
+			deps, err := brandes.DependencyVectorWithWeightedTargetContext(ctx, g, ts, 0)
+			if err != nil {
+				return MuStats{}, err
+			}
+			return MuFromDeps(deps), nil
+		}
 	}
 	deps, err := brandes.DependencyVectorParallelContext(ctx, g, r, 0)
 	if err != nil {

@@ -22,30 +22,55 @@ import (
 	"bcmh/internal/sssp"
 )
 
-// fastOracleGraph reports whether g qualifies for the identity-based
-// fast dependency oracle: unweighted (hop-count distances are exact
-// integers) and undirected (the identity reads σ_vr and d(v,r) from
-// v's own traversal, which needs symmetry). Everything else — the
-// paper's setting included among the fast graphs, weighted/directed
-// inputs excluded — routes through the reference Brandes evaluator.
-func fastOracleGraph(g *graph.Graph) bool {
-	return !g.Weighted() && !g.Directed()
+// oracleRoute names the dependency-evaluation strategy a graph gets.
+// Both undirected kinds take a pair-dependency identity route (the
+// identity needs σ_vr = σ_rv, i.e. symmetry); only directed graphs
+// fall back to the reference Brandes evaluator.
+type oracleRoute int
+
+const (
+	// routeBrandes: directed graphs — full traversal plus backward
+	// accumulation per evaluation (brandes.DependencyOnTarget).
+	routeBrandes oracleRoute = iota
+	// routeBFSIdentity: unweighted undirected graphs — specialized BFS
+	// kernel plus O(n) scan (brandes.DependencyOnTargetIdentity).
+	routeBFSIdentity
+	// routeDijkstraIdentity: weighted undirected graphs — specialized
+	// Dijkstra kernel (bucket queue when the weight range allows, 4-ary
+	// heap otherwise) plus O(n) scan
+	// (brandes.DependencyOnTargetIdentityWeighted).
+	routeDijkstraIdentity
+)
+
+// routeFor selects the evaluation route for g.
+func routeFor(g *graph.Graph) oracleRoute {
+	switch {
+	case g.Directed():
+		return routeBrandes
+	case g.Weighted():
+		return routeDijkstraIdentity
+	default:
+		return routeBFSIdentity
+	}
 }
 
 // Oracle evaluates δ_v•(target) with optional memoisation. MH chains
 // revisit states whenever a proposal is rejected, so the memo converts
 // the dominant cost from O(steps) to O(unique-states) evaluations.
 //
-// Two evaluation routes sit behind the same interface, selected by the
-// graph (see fastOracleGraph):
+// Three evaluation routes sit behind the same interface, selected by
+// the graph (see routeFor):
 //
-//   - identity route (unweighted undirected): the target-side shortest
-//     path snapshot is computed once per oracle — or shared through the
-//     BufferPool's per-target cache — and each evaluation is one
-//     specialized forward BFS from v plus an O(n) scan, via
+//   - BFS identity route (unweighted undirected): the target-side
+//     shortest path snapshot is computed once per oracle — or shared
+//     through the BufferPool's per-target cache — and each evaluation
+//     is one specialized forward BFS from v plus an O(n) scan, via
 //     brandes.DependencyOnTargetIdentity. No Brandes backward pass.
-//   - Brandes route (weighted or directed): each evaluation is a full
-//     traversal plus backward accumulation, via the reference
+//   - Dijkstra identity route (weighted undirected): same shape with
+//     the weighted kernel and snapshot, via
+//     brandes.DependencyOnTargetIdentityWeighted.
+//   - Brandes route (directed): each evaluation is a full traversal
+//     plus backward accumulation, via the reference
 //     brandes.DependencyOnTarget.
 //
 // The memo is a dense epoch-stamped array, not a map: at chain lengths
@@ -57,9 +82,12 @@ type Oracle struct {
 	// Brandes route state.
 	c     *sssp.Computer
 	delta []float64
-	// Identity route state.
+	// BFS identity route state.
 	bfs  *sssp.BFS
 	tspd *sssp.TargetSPD
+	// Dijkstra identity route state.
+	dij   *sssp.Dijkstra
+	wtspd *sssp.WeightedTargetSPD
 
 	// Dense memo: memoVal[v] is valid iff memoStamp[v] == memoEpoch.
 	// A nil memoStamp disables memoisation (ablation T8d).
@@ -77,15 +105,15 @@ type Oracle struct {
 // evaluation route. When useCache is false every Dep call performs a
 // full evaluation (ablation T8d).
 func NewOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
-	return newOracleBuffered(g, target, useCache, newChainBuffers(g), nil)
+	return newOracleBuffered(g, target, useCache, newChainBuffers(g), nil, nil)
 }
 
 // newOracleBuffered wires an Oracle around recycled chain buffers. The
 // buffers may have served a previous target; bumping the memo epoch
-// invalidates every stale entry in O(1). A non-nil tspd supplies the
-// target-side snapshot (from the BufferPool's shared cache); nil makes
-// the oracle compute its own on the identity route.
-func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers, tspd *sssp.TargetSPD) (*Oracle, error) {
+// invalidates every stale entry in O(1). A non-nil tspd/wtspd supplies
+// the target-side snapshot for the matching identity route (from the
+// BufferPool's shared cache); nil makes the oracle compute its own.
+func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers, tspd *sssp.TargetSPD, wtspd *sssp.WeightedTargetSPD) (*Oracle, error) {
 	if target < 0 || target >= g.N() {
 		return nil, fmt.Errorf("mcmc: oracle target %d out of range", target)
 	}
@@ -95,12 +123,19 @@ func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffer
 		c:      b.c,
 		delta:  b.delta,
 		bfs:    b.bfs,
+		dij:    b.dij,
 	}
 	if o.bfs != nil {
 		if tspd == nil || tspd.Target != target {
 			tspd = sssp.NewTargetSPD(o.bfs, target)
 		}
 		o.tspd = tspd
+	}
+	if o.dij != nil {
+		if wtspd == nil || wtspd.Target != target {
+			wtspd = sssp.NewWeightedTargetSPD(o.dij, target)
+		}
+		o.wtspd = wtspd
 	}
 	if useCache {
 		o.memoVal = b.memoVal
@@ -138,10 +173,14 @@ func (o *Oracle) Dep(v int) float64 {
 	}
 	o.Evals++
 	var d float64
-	if o.bfs != nil {
+	switch {
+	case o.bfs != nil:
 		o.bfs.Run(v)
 		d = brandes.DependencyOnTargetIdentity(o.bfs, o.tspd, v)
-	} else {
+	case o.dij != nil:
+		o.dij.Run(v)
+		d = brandes.DependencyOnTargetIdentityWeighted(o.dij, o.wtspd, v)
+	default:
 		d = brandes.DependencyOnTarget(o.c, o.delta, v, o.target)
 	}
 	if o.memoStamp != nil {
@@ -157,10 +196,11 @@ func (o *Oracle) Target() int { return o.target }
 // SetOracle evaluates the vector (δ_v•(r))_{r ∈ R} for a fixed set R.
 // On the Brandes route a single traversal from v yields δ_v•(x) for
 // every x, so the whole R-vector costs the same O(m) as a single entry;
-// on the identity route one specialized BFS from v feeds |R| O(n)
-// scans against the per-target snapshots (one cached SPD per target in
-// R, computed once at construction). Either way the joint-space
-// sampler's per-step cost stays effectively independent of |R|.
+// on the identity routes one specialized BFS/Dijkstra from v feeds |R|
+// O(n) scans against the per-target snapshots (one cached SPD per
+// target in R, computed once at construction). Either way the
+// joint-space sampler's per-step cost stays effectively independent of
+// |R|.
 type SetOracle struct {
 	g       *graph.Graph
 	targets []int
@@ -168,15 +208,22 @@ type SetOracle struct {
 	// Brandes route state.
 	c     *sssp.Computer
 	delta []float64
-	// Identity route state: one snapshot per target in R.
+	// BFS identity route state: one snapshot per target in R.
 	bfs   *sssp.BFS
 	tspds []*sssp.TargetSPD
+	// Dijkstra identity route state, same shape.
+	dij    *sssp.Dijkstra
+	wtspds []*sssp.WeightedTargetSPD
 
 	// Dense memo, flattened row-major: row v is
 	// memoVal[v*len(targets) : (v+1)*len(targets)], valid iff
-	// memoStamp[v] != 0. Nil memoStamp disables memoisation.
+	// memoStamp[v] == memoEpoch — the same epoch tagging Oracle uses,
+	// so Retarget invalidates every row in O(1) instead of trusting a
+	// binary stamp that would survive a target-set change and serve
+	// stale vectors. Nil memoStamp disables memoisation.
 	memoVal   []float64
 	memoStamp []uint32
+	memoEpoch uint32
 
 	Evals int
 	Hits  int
@@ -185,48 +232,76 @@ type SetOracle struct {
 // NewSetOracle returns an oracle for the target set R (which must be
 // non-empty, in range, and duplicate-free).
 func NewSetOracle(g *graph.Graph, targets []int, useCache bool) (*SetOracle, error) {
-	if len(targets) == 0 {
-		return nil, fmt.Errorf("mcmc: empty target set")
-	}
-	seen := make(map[int]bool, len(targets))
-	for _, r := range targets {
-		if r < 0 || r >= g.N() {
-			return nil, fmt.Errorf("mcmc: set oracle target %d out of range", r)
-		}
-		if seen[r] {
-			return nil, fmt.Errorf("mcmc: set oracle target %d repeated", r)
-		}
-		seen[r] = true
-	}
-	o := &SetOracle{
-		g:       g,
-		targets: append([]int(nil), targets...),
-	}
-	if fastOracleGraph(g) {
+	o := &SetOracle{g: g}
+	switch routeFor(g) {
+	case routeBFSIdentity:
 		o.bfs = sssp.NewBFS(g)
-		o.tspds = make([]*sssp.TargetSPD, len(o.targets))
-		for i, r := range o.targets {
-			o.tspds[i] = sssp.NewTargetSPD(o.bfs, r)
-		}
-	} else {
+	case routeDijkstraIdentity:
+		o.dij = sssp.NewDijkstra(g)
+	default:
 		o.c = sssp.NewComputer(g)
 		o.delta = make([]float64, g.N())
 	}
 	if useCache {
-		o.memoVal = make([]float64, g.N()*len(o.targets))
 		o.memoStamp = make([]uint32, g.N())
+	}
+	if err := o.Retarget(targets); err != nil {
+		return nil, err
 	}
 	return o, nil
 }
 
+// Retarget repoints the oracle at a new target set, rebuilding the
+// per-target snapshots and invalidating the whole memo by bumping its
+// epoch. It is the reuse path for callers that run several joint-space
+// estimations on one graph: buffers, kernels and the memo backing array
+// are all recycled.
+func (o *SetOracle) Retarget(targets []int) error {
+	if len(targets) == 0 {
+		return fmt.Errorf("mcmc: empty target set")
+	}
+	seen := make(map[int]bool, len(targets))
+	for _, r := range targets {
+		if r < 0 || r >= o.g.N() {
+			return fmt.Errorf("mcmc: set oracle target %d out of range", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("mcmc: set oracle target %d repeated", r)
+		}
+		seen[r] = true
+	}
+	o.targets = append(o.targets[:0], targets...)
+	switch {
+	case o.bfs != nil:
+		o.tspds = o.tspds[:0]
+		for _, r := range o.targets {
+			o.tspds = append(o.tspds, sssp.NewTargetSPD(o.bfs, r))
+		}
+	case o.dij != nil:
+		o.wtspds = o.wtspds[:0]
+		for _, r := range o.targets {
+			o.wtspds = append(o.wtspds, sssp.NewWeightedTargetSPD(o.dij, r))
+		}
+	}
+	if o.memoStamp != nil {
+		if need := o.g.N() * len(o.targets); cap(o.memoVal) < need {
+			o.memoVal = make([]float64, need)
+		} else {
+			o.memoVal = o.memoVal[:need]
+		}
+		o.memoEpoch = bumpEpoch(o.memoStamp, o.memoEpoch)
+	}
+	return nil
+}
+
 // Deps returns the dependency vector of source v on every target,
-// indexed as the targets slice passed to NewSetOracle. The returned
-// slice is owned by the memo when caching is on; callers must not
-// modify it (each source has its own row, so slices returned for
-// different sources stay valid across calls).
+// indexed as the targets slice passed to NewSetOracle/Retarget. The
+// returned slice is owned by the memo when caching is on; callers must
+// not modify it (each source has its own row, so slices returned for
+// different sources stay valid across calls — until the next Retarget).
 func (o *SetOracle) Deps(v int) []float64 {
 	k := len(o.targets)
-	if o.memoStamp != nil && o.memoStamp[v] != 0 {
+	if o.memoStamp != nil && o.memoStamp[v] == o.memoEpoch {
 		o.Hits++
 		return o.memoVal[v*k : (v+1)*k : (v+1)*k]
 	}
@@ -237,12 +312,18 @@ func (o *SetOracle) Deps(v int) []float64 {
 	} else {
 		out = make([]float64, k)
 	}
-	if o.bfs != nil {
+	switch {
+	case o.bfs != nil:
 		o.bfs.Run(v)
 		for i, ts := range o.tspds {
 			out[i] = brandes.DependencyOnTargetIdentity(o.bfs, ts, v)
 		}
-	} else {
+	case o.dij != nil:
+		o.dij.Run(v)
+		for i, ts := range o.wtspds {
+			out[i] = brandes.DependencyOnTargetIdentityWeighted(o.dij, ts, v)
+		}
+	default:
 		spd := o.c.Run(v)
 		brandes.Accumulate(o.g, spd, o.delta)
 		for i, r := range o.targets {
@@ -250,7 +331,7 @@ func (o *SetOracle) Deps(v int) []float64 {
 		}
 	}
 	if o.memoStamp != nil {
-		o.memoStamp[v] = 1
+		o.memoStamp[v] = o.memoEpoch
 	}
 	return out
 }

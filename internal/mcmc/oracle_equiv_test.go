@@ -31,14 +31,33 @@ func equivGraphs(t *testing.T) map[string]*graph.Graph {
 	}
 }
 
+// equivGraphsWeighted is the weighted mirror of equivGraphs: the same
+// structural regimes with positive float weights, spanning both
+// Dijkstra kernel routes (narrow weight ranges take the calendar
+// queue, the wide-range ER fixture forces the 4-ary heap).
+func equivGraphsWeighted(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	er := graph.ErdosRenyiGNP(90, 0.06, rng.New(41))
+	lc, _, err := graph.LargestComponent(er)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"wba":     graph.WithUniformWeights(graph.BarabasiAlbert(150, 3, rng.New(40)), 1, 10, rng.New(140)),
+		"wer":     graph.WithUniformWeights(lc, 0.01, 10, rng.New(141)), // ratio > 64 → heap route
+		"wgrid":   graph.WithUniformWeights(graph.Grid(9, 10), 1, 3, rng.New(142)),
+		"wkarate": graph.WithUniformWeights(graph.KarateClub(), 1, 9, rng.New(143)),
+	}
+}
+
 // TestFastOracleMatchesReference checks δ_v•(r) from the identity fast
 // path against brandes.DependencyOnTarget for every vertex v, over
 // several targets per graph, within 1e-9 relative tolerance (the two
 // routes sum the same terms in different orders).
 func TestFastOracleMatchesReference(t *testing.T) {
 	for name, g := range equivGraphs(t) {
-		if !fastOracleGraph(g) {
-			t.Fatalf("%s: test graph should take the fast route", name)
+		if routeFor(g) != routeBFSIdentity {
+			t.Fatalf("%s: test graph should take the BFS identity route", name)
 		}
 		n := g.N()
 		c := sssp.NewComputer(g)
@@ -51,6 +70,38 @@ func TestFastOracleMatchesReference(t *testing.T) {
 			}
 			if fast.bfs == nil {
 				t.Fatalf("%s: oracle took the Brandes route", name)
+			}
+			for v := 0; v < n; v++ {
+				got := fast.Dep(v)
+				want := brandes.DependencyOnTarget(c, scratch, v, r)
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Fatalf("%s target %d: δ_%d = %v fast vs %v reference", name, r, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightedFastOracleMatchesReference is the weighted analog: the
+// Dijkstra identity route against the reference Brandes evaluator on
+// weighted BA/ER/grid/karate, every vertex, several targets, ≤1e-9
+// relative tolerance.
+func TestWeightedFastOracleMatchesReference(t *testing.T) {
+	for name, g := range equivGraphsWeighted(t) {
+		if routeFor(g) != routeDijkstraIdentity {
+			t.Fatalf("%s: test graph should take the Dijkstra identity route", name)
+		}
+		n := g.N()
+		c := sssp.NewComputer(g)
+		scratch := make([]float64, n)
+		targets := []int{0, 1, n / 2, n - 1}
+		for _, r := range targets {
+			fast, err := NewOracle(g, r, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.dij == nil {
+				t.Fatalf("%s: oracle missed the Dijkstra route", name)
 			}
 			for v := 0; v < n; v++ {
 				got := fast.Dep(v)
@@ -82,41 +133,49 @@ func TestFastOracleMatchesDependencyVector(t *testing.T) {
 }
 
 // TestSetOracleFastMatchesReference checks the joint-space oracle's
-// identity route against the Brandes accumulation route.
+// identity routes (BFS and Dijkstra) against the Brandes accumulation
+// route.
 func TestSetOracleFastMatchesReference(t *testing.T) {
-	g := graph.BarabasiAlbert(100, 3, rng.New(47))
-	R := []int{0, 3, 17, 50, 99}
-	fast, err := NewSetOracle(g, R, true)
-	if err != nil {
-		t.Fatal(err)
+	gs := map[string]*graph.Graph{
+		"unweighted": graph.BarabasiAlbert(100, 3, rng.New(47)),
+		"weighted":   graph.WithUniformWeights(graph.BarabasiAlbert(100, 3, rng.New(47)), 1, 8, rng.New(48)),
 	}
-	if fast.bfs == nil {
-		t.Fatal("set oracle took the Brandes route")
-	}
-	c := sssp.NewComputer(g)
-	delta := make([]float64, g.N())
-	for v := 0; v < g.N(); v++ {
-		got := fast.Deps(v)
-		spd := c.Run(v)
-		brandes.Accumulate(g, spd, delta)
-		for i, r := range R {
-			if math.Abs(got[i]-delta[r]) > 1e-9*(1+math.Abs(delta[r])) {
-				t.Fatalf("v=%d target %d: %v fast vs %v reference", v, r, got[i], delta[r])
+	for name, g := range gs {
+		R := []int{0, 3, 17, 50, 99}
+		fast, err := NewSetOracle(g, R, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast.bfs == nil && fast.dij == nil {
+			t.Fatalf("%s: set oracle took the Brandes route", name)
+		}
+		c := sssp.NewComputer(g)
+		delta := make([]float64, g.N())
+		for v := 0; v < g.N(); v++ {
+			got := fast.Deps(v)
+			spd := c.Run(v)
+			brandes.Accumulate(g, spd, delta)
+			for i, r := range R {
+				if math.Abs(got[i]-delta[r]) > 1e-9*(1+math.Abs(delta[r])) {
+					t.Fatalf("%s v=%d target %d: %v fast vs %v reference", name, v, r, got[i], delta[r])
+				}
 			}
 		}
 	}
 }
 
-// TestWeightedAndDirectedRouteThroughBrandes pins the selection rule:
-// only unweighted undirected graphs take the identity route.
-func TestWeightedAndDirectedRouteThroughBrandes(t *testing.T) {
+// TestOracleRouteSelection pins the selection rule: unweighted
+// undirected graphs take the BFS identity route, weighted undirected
+// graphs the Dijkstra identity route, and only directed graphs fall
+// back to Brandes.
+func TestOracleRouteSelection(t *testing.T) {
 	w := graph.WithUniformWeights(graph.KarateClub(), 1, 9, rng.New(51))
 	o, err := NewOracle(w, 0, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.bfs != nil || o.c == nil {
-		t.Fatal("weighted graph must take the Brandes route")
+	if o.dij == nil || o.bfs != nil {
+		t.Fatal("weighted undirected graph must take the Dijkstra identity route")
 	}
 	b := graph.NewDirectedBuilder(4)
 	b.AddEdge(0, 1)
@@ -130,15 +189,96 @@ func TestWeightedAndDirectedRouteThroughBrandes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if od.bfs != nil {
+	if od.bfs != nil || od.dij != nil || od.c == nil {
 		t.Fatal("directed graph must take the Brandes route")
 	}
 	so, err := NewSetOracle(w, []int{0, 1}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if so.bfs != nil {
-		t.Fatal("weighted set oracle must take the Brandes route")
+	if so.dij == nil || so.bfs != nil {
+		t.Fatal("weighted set oracle must take the Dijkstra identity route")
+	}
+	if len(so.wtspds) != 2 {
+		t.Fatalf("weighted set oracle built %d snapshots, want 2", len(so.wtspds))
+	}
+}
+
+// TestSetOracleRetargetInvalidatesMemo is the regression test for the
+// stale-memo bug: the memo stamp used to be binary (set once, never
+// reset), so a set oracle reused for a new target set would serve the
+// previous set's dependency vectors. Retarget must invalidate every
+// memoised row.
+func TestSetOracleRetargetInvalidatesMemo(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"unweighted": graph.BarabasiAlbert(80, 3, rng.New(53)),
+		"weighted":   graph.WithUniformWeights(graph.BarabasiAlbert(80, 3, rng.New(53)), 1, 6, rng.New(54)),
+	} {
+		R1 := []int{0, 5, 11}
+		R2 := []int{2, 40, 79, 33}
+		o, err := NewSetOracle(g, R1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Memoise every row under R1, twice so hits are exercised.
+		for v := 0; v < g.N(); v++ {
+			o.Deps(v)
+			o.Deps(v)
+		}
+		if o.Hits == 0 {
+			t.Fatalf("%s: memo never hit under R1", name)
+		}
+		if err := o.Retarget(R2); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := NewSetOracle(g, R2, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			got := o.Deps(v)
+			want := fresh.Deps(v)
+			if len(got) != len(R2) {
+				t.Fatalf("%s v=%d: stale row length %d after Retarget", name, v, len(got))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s v=%d target %d: %v after Retarget vs %v fresh — stale memo served",
+						name, v, R2[i], got[i], want[i])
+				}
+			}
+		}
+		// Retarget back to R1 must likewise not resurrect R1-era rows as
+		// hits-without-eval: a full pass re-evaluates every row.
+		evalsBefore := o.Evals
+		if err := o.Retarget(R1); err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			o.Deps(v)
+		}
+		if o.Evals != evalsBefore+g.N() {
+			t.Fatalf("%s: expected %d evals after second Retarget, got %d",
+				name, evalsBefore+g.N(), o.Evals)
+		}
+	}
+}
+
+// TestSetOracleRetargetValidates pins Retarget's input contract.
+func TestSetOracleRetargetValidates(t *testing.T) {
+	g := graph.Path(10)
+	o, err := NewSetOracle(g, []int{0, 1}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{{}, {-1}, {10}, {3, 3}} {
+		if err := o.Retarget(bad); err == nil {
+			t.Fatalf("Retarget(%v) accepted", bad)
+		}
+	}
+	// A failed Retarget must leave the oracle usable on its old set.
+	if got := o.Deps(5); len(got) != 2 {
+		t.Fatalf("oracle broken after rejected Retarget: row length %d", len(got))
 	}
 }
 
@@ -206,8 +346,8 @@ func TestChainBitIdenticalWhereExact(t *testing.T) {
 // with one seed must agree exactly, on both oracle routes.
 func TestEstimateBCPooledMatchesUnpooled(t *testing.T) {
 	gs := map[string]*graph.Graph{
-		"fast":    graph.BarabasiAlbert(200, 3, rng.New(59)),
-		"brandes": graph.WithUniformWeights(graph.BarabasiAlbert(200, 3, rng.New(59)), 1, 7, rng.New(60)),
+		"bfs-route":      graph.BarabasiAlbert(200, 3, rng.New(59)),
+		"dijkstra-route": graph.WithUniformWeights(graph.BarabasiAlbert(200, 3, rng.New(59)), 1, 7, rng.New(60)),
 	}
 	for name, g := range gs {
 		pool := NewBufferPool(g)
@@ -299,9 +439,30 @@ func TestTargetSPDCacheLRU(t *testing.T) {
 	if pool.targetSPD(0) == first {
 		t.Fatal("evicted snapshot pointer resurrected")
 	}
-	// Weighted graphs have no snapshots.
+	// Each route serves only its own snapshot kind.
+	if pool.weightedTargetSPD(0) != nil {
+		t.Fatal("unweighted pool returned a weighted snapshot")
+	}
 	w := graph.WithUniformWeights(g, 1, 3, rng.New(68))
-	if NewBufferPool(w).targetSPD(0) != nil {
-		t.Fatal("weighted pool returned a snapshot")
+	wpool := NewBufferPool(w)
+	if wpool.targetSPD(0) != nil {
+		t.Fatal("weighted pool returned an unweighted snapshot")
+	}
+	wfirst := wpool.weightedTargetSPD(0)
+	if wfirst == nil || wfirst.Target != 0 {
+		t.Fatal("weighted snapshot missing")
+	}
+	if wpool.weightedTargetSPD(0) != wfirst {
+		t.Fatal("weighted snapshot not cached")
+	}
+	// Same LRU bound and eviction behaviour as the unweighted kind.
+	for r := 1; r <= targetSPDCacheSize+10; r++ {
+		wpool.weightedTargetSPD(r % w.N())
+	}
+	if wpool.tspdLRU.Len() > targetSPDCacheSize {
+		t.Fatalf("weighted cache grew to %d", wpool.tspdLRU.Len())
+	}
+	if wpool.weightedTargetSPD(0) == wfirst {
+		t.Fatal("evicted weighted snapshot pointer resurrected")
 	}
 }

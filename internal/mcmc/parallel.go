@@ -67,10 +67,17 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 	// Target-side state is chain-independent and read-only: compute the
 	// snapshot and the proposal table once, share them with every chain.
 	var tspd *sssp.TargetSPD
+	var wtspd *sssp.WeightedTargetSPD
 	if pool != nil {
 		tspd = pool.targetSPD(r)
-	} else if fastOracleGraph(g) {
-		tspd = sssp.NewTargetSPD(sssp.NewBFS(g), r)
+		wtspd = pool.weightedTargetSPD(r)
+	} else {
+		switch routeFor(g) {
+		case routeBFSIdentity:
+			tspd = sssp.NewTargetSPD(sssp.NewBFS(g), r)
+		case routeDijkstraIdentity:
+			wtspd = sssp.NewWeightedTargetSPD(sssp.NewDijkstra(g), r)
+		}
 	}
 	var degAlias *rng.Alias
 	if cfg.DegreeProposal {
@@ -100,7 +107,7 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 			} else {
 				b = newChainBuffers(g)
 			}
-			oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd)
+			oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd, wtspd)
 			if err != nil {
 				errs[i] = err
 				return

@@ -16,16 +16,18 @@ import (
 const targetSPDCacheSize = 128
 
 // chainBuffers is one chain's worth of reusable state. Which traversal
-// kernel it carries depends on the graph: unweighted undirected graphs
-// get the specialized BFS kernel the identity oracle runs on; weighted
-// or directed graphs get the general Computer plus the Brandes
+// kernel it carries depends on the graph (see routeFor): unweighted
+// undirected graphs get the specialized BFS kernel the identity oracle
+// runs on; weighted undirected graphs get the specialized Dijkstra
+// kernel; directed graphs get the general Computer plus the Brandes
 // accumulation scratch. The memo and visited arrays are dense and
 // epoch-stamped, so reuse across targets costs a counter bump instead
 // of a map clear (or an O(n) zeroing).
 type chainBuffers struct {
-	c     *sssp.Computer // Brandes route (weighted/directed graphs)
+	c     *sssp.Computer // Brandes route (directed graphs)
 	delta []float64      // Brandes accumulation scratch
-	bfs   *sssp.BFS      // identity route (unweighted undirected graphs)
+	bfs   *sssp.BFS      // BFS identity route (unweighted undirected)
+	dij   *sssp.Dijkstra // Dijkstra identity route (weighted undirected)
 
 	// Dependency memo: memoVal[v] is valid iff memoStamp[v] == memoEpoch.
 	memoVal   []float64
@@ -44,41 +46,51 @@ func newChainBuffers(g *graph.Graph) *chainBuffers {
 		memoStamp: make([]uint32, n),
 		visStamp:  make([]uint32, n),
 	}
-	if fastOracleGraph(g) {
+	switch routeFor(g) {
+	case routeBFSIdentity:
 		b.bfs = sssp.NewBFS(g)
-	} else {
+	case routeDijkstraIdentity:
+		b.dij = sssp.NewDijkstra(g)
+	default:
 		b.c = sssp.NewComputer(g)
 		b.delta = make([]float64, n)
 	}
 	return b
 }
 
+// bumpEpoch advances an epoch counter over a stamp array, clearing the
+// stamps on the 2^32 wrap so a stale stamp can never collide with the
+// fresh epoch. Shared by the chain-buffer memo/visited sets and the
+// SetOracle memo.
+func bumpEpoch(stamp []uint32, epoch uint32) uint32 {
+	epoch++
+	if epoch == 0 {
+		clear(stamp)
+		epoch = 1
+	}
+	return epoch
+}
+
 // nextMemoEpoch invalidates every memo entry in O(1) (O(n) once per
 // 2^32 reuses, when the stamp counter wraps).
 func (b *chainBuffers) nextMemoEpoch() uint32 {
-	b.memoEpoch++
-	if b.memoEpoch == 0 {
-		clear(b.memoStamp)
-		b.memoEpoch = 1
-	}
+	b.memoEpoch = bumpEpoch(b.memoStamp, b.memoEpoch)
 	return b.memoEpoch
 }
 
 // nextVisEpoch invalidates the visited set, same scheme.
 func (b *chainBuffers) nextVisEpoch() uint32 {
-	b.visEpoch++
-	if b.visEpoch == 0 {
-		clear(b.visStamp)
-		b.visEpoch = 1
-	}
+	b.visEpoch = bumpEpoch(b.visStamp, b.visEpoch)
 	return b.visEpoch
 }
 
-// tspdEntry is one cached target snapshot; once deduplicates concurrent
-// first requests to a single BFS.
+// tspdEntry is one cached target snapshot — the kind matching the
+// graph's identity route is set, the other stays nil; once deduplicates
+// concurrent first requests to a single traversal.
 type tspdEntry struct {
 	once sync.Once
 	spd  *sssp.TargetSPD
+	wspd *sssp.WeightedTargetSPD
 }
 
 // BufferPool recycles chain buffers across estimation calls on one
@@ -120,14 +132,10 @@ func NewBufferPool(g *graph.Graph) *BufferPool {
 func (p *BufferPool) get() *chainBuffers  { return p.pool.Get().(*chainBuffers) }
 func (p *BufferPool) put(b *chainBuffers) { p.pool.Put(b) }
 
-// targetSPD returns the cached target-side snapshot for target, building
-// it on first request (concurrent first requests share one build). It
-// returns nil when the graph takes the Brandes route — weighted or
-// directed graphs have no identity fast path.
-func (p *BufferPool) targetSPD(target int) *sssp.TargetSPD {
-	if !fastOracleGraph(p.g) {
-		return nil
-	}
+// tspdLookup returns the LRU entry for target, inserting (and evicting
+// the oldest beyond capacity) under the pool lock. Snapshot builds run
+// outside the lock, deduplicated by the entry's once.
+func (p *BufferPool) tspdLookup(target int) *tspdEntry {
 	p.tspdMtx.Lock()
 	el, ok := p.tspdByKey[target]
 	if ok {
@@ -143,10 +151,38 @@ func (p *BufferPool) targetSPD(target int) *sssp.TargetSPD {
 	}
 	ent := el.Value.(*tspdNode).ent
 	p.tspdMtx.Unlock()
+	return ent
+}
+
+// targetSPD returns the cached target-side snapshot for target, building
+// it on first request (concurrent first requests share one build). It
+// returns nil unless the graph takes the BFS identity route (weighted
+// undirected graphs have their own snapshot kind, see
+// weightedTargetSPD; directed graphs have no identity fast path).
+func (p *BufferPool) targetSPD(target int) *sssp.TargetSPD {
+	if routeFor(p.g) != routeBFSIdentity {
+		return nil
+	}
+	ent := p.tspdLookup(target)
 	ent.once.Do(func() {
 		ent.spd = sssp.NewTargetSPD(sssp.NewBFS(p.g), target)
 	})
 	return ent.spd
+}
+
+// weightedTargetSPD is targetSPD's weighted counterpart: non-nil only
+// on the Dijkstra identity route. Both snapshot kinds share one LRU (a
+// graph is either weighted or not, so in practice every entry is the
+// same kind).
+func (p *BufferPool) weightedTargetSPD(target int) *sssp.WeightedTargetSPD {
+	if routeFor(p.g) != routeDijkstraIdentity {
+		return nil
+	}
+	ent := p.tspdLookup(target)
+	ent.once.Do(func() {
+		ent.wspd = sssp.NewWeightedTargetSPD(sssp.NewDijkstra(p.g), target)
+	})
+	return ent.wspd
 }
 
 // degreeAlias returns the degree-proposal alias table for the pool's

@@ -212,14 +212,16 @@ func EstimateBCPooledContext(ctx context.Context, g *graph.Graph, r int, cfg Con
 	}
 	var b *chainBuffers
 	var tspd *sssp.TargetSPD
+	var wtspd *sssp.WeightedTargetSPD
 	if pool != nil {
 		b = pool.get()
 		defer pool.put(b)
 		tspd = pool.targetSPD(r)
+		wtspd = pool.weightedTargetSPD(r)
 	} else {
 		b = newChainBuffers(g)
 	}
-	oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd)
+	oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd, wtspd)
 	if err != nil {
 		return Result{}, err
 	}

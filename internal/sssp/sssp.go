@@ -21,10 +21,14 @@ import (
 // the source.
 const Unreachable = -1
 
-// weightEps is the relative tolerance used to decide whether an edge
+// WeightEps is the relative tolerance used to decide whether an edge
 // lies on a weighted shortest path (float summation order differs
-// between parents).
-const weightEps = 1e-9
+// between parents). Every shortest-path-DAG consumer in the repository
+// (the Computer, the Dijkstra kernel, and the identity-based dependency
+// evaluators in internal/brandes) must classify ties with this same
+// tolerance, or the fast and reference routes would disagree on which
+// paths are "shortest".
+const WeightEps = 1e-9
 
 // SPD is the shortest-path DAG rooted at Source: for every vertex,
 // its shortest-path distance, the number of shortest paths from the
@@ -58,7 +62,7 @@ func (s *SPD) OnShortestPath(u, v int, w float64) bool {
 	if du == Unreachable || dv == Unreachable {
 		return false
 	}
-	return math.Abs(du+w-dv) <= weightEps*(1+math.Abs(dv))
+	return math.Abs(du+w-dv) <= WeightEps*(1+math.Abs(dv))
 }
 
 // Computer runs BFS (unweighted) or Dijkstra (positive weights)
@@ -72,6 +76,10 @@ type Computer struct {
 	// Dijkstra binary heap.
 	heapV []int
 	heapD []float64
+	// Dijkstra settled marks, epoch-stamped so a Run resets them by
+	// bumping doneEpoch instead of allocating or clearing.
+	done      []uint32
+	doneEpoch uint32
 }
 
 // NewComputer returns a Computer for g.
@@ -80,6 +88,7 @@ func NewComputer(g *graph.Graph) *Computer {
 	c := &Computer{
 		g:     g,
 		order: make([]int, 0, n),
+		done:  make([]uint32, n),
 	}
 	c.spd.Dist = make([]float64, n)
 	c.spd.Sigma = make([]float64, n)
@@ -147,25 +156,30 @@ func (c *Computer) runDijkstra(source int) *SPD {
 	dist[source] = 0
 	sigma[source] = 1
 	c.heapPush(source, 0)
-	done := make([]bool, c.g.N()) // settled marks; small cost vs. clarity
+	c.doneEpoch++
+	if c.doneEpoch == 0 { // stamp wrap: one O(n) clear every 2^32 runs
+		clear(c.done)
+		c.doneEpoch = 1
+	}
+	done, ep := c.done, c.doneEpoch
 	for len(c.heapV) > 0 {
 		u, du := c.heapPop()
-		if done[u] || du > dist[u] {
+		if done[u] == ep || du > dist[u] {
 			continue // stale entry
 		}
-		done[u] = true
+		done[u] = ep
 		c.order = append(c.order, u)
 		ws := c.g.NeighborWeights(u)
 		for i, v := range c.g.Neighbors(u) {
 			w := ws[i]
 			nd := dist[u] + w
 			switch {
-			case dist[v] == Unreachable || nd < dist[v]-weightEps*(1+math.Abs(dist[v])):
+			case dist[v] == Unreachable || nd < dist[v]-WeightEps*(1+math.Abs(dist[v])):
 				dist[v] = nd
 				sigma[v] = sigma[u]
 				c.heapPush(v, nd)
-			case math.Abs(nd-dist[v]) <= weightEps*(1+math.Abs(dist[v])):
-				if !done[v] {
+			case math.Abs(nd-dist[v]) <= WeightEps*(1+math.Abs(dist[v])):
+				if done[v] != ep {
 					sigma[v] += sigma[u]
 				}
 			}

@@ -197,6 +197,91 @@ func TestDijkstraEqualPathCounting(t *testing.T) {
 	}
 }
 
+// TestDijkstraAllocFree pins the package-doc contract that repeated
+// traversals allocate nothing after warm-up. The settled-marks buffer
+// used to be allocated per Run (make([]bool, n) in runDijkstra); it is
+// now epoch-stamped and owned by the Computer.
+func TestDijkstraAllocFree(t *testing.T) {
+	g := graph.WithUniformWeights(graph.BarabasiAlbert(200, 3, rng.New(3)), 1, 10, rng.New(4))
+	c := NewComputer(g)
+	for s := 0; s < 10; s++ { // warm-up: grow heap/order capacity
+		c.Run(s)
+	}
+	avg := testing.AllocsPerRun(50, func() { c.Run(17) })
+	if avg != 0 {
+		t.Fatalf("Run allocates %.1f times after warm-up, want 0", avg)
+	}
+}
+
+// TestDijkstraDoneEpochWrap forces the settled-marks epoch wrap and
+// checks the one-time clear keeps σ tie-counting correct (a stale done
+// mark would suppress a legitimate σ accumulation).
+func TestDijkstraDoneEpochWrap(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddWeightedEdge(0, 1, 1)
+	b.AddWeightedEdge(0, 2, 2)
+	b.AddWeightedEdge(1, 3, 2)
+	b.AddWeightedEdge(2, 3, 1)
+	g := b.MustBuild()
+	c := NewComputer(g)
+	c.Run(0)
+	c.doneEpoch = ^uint32(0) // next Run wraps
+	for i := 0; i < 3; i++ {
+		spd := c.Run(0)
+		if math.Abs(spd.Dist[3]-3) > 1e-12 || spd.Sigma[3] != 2 {
+			t.Fatalf("after wrap run %d: dist %v sigma %v", i, spd.Dist[3], spd.Sigma[3])
+		}
+	}
+}
+
+// TestDijkstraFloatSummationOrderTie exercises the WeightEps tie
+// branches with paths whose exact float sums differ in the last bit:
+// route A costs (0.1+0.2)+0.3 = 0.6000000000000001, route B costs
+// (0.3+0.2)+0.1 = 0.6. Without the relative tolerance one route would
+// be classified as strictly shorter and σ would collapse to 1.
+func TestDijkstraFloatSummationOrderTie(t *testing.T) {
+	b := graph.NewBuilder(6)
+	// Route A: 0 -0.1- 1 -0.2- 2 -0.3- 5
+	b.AddWeightedEdge(0, 1, 0.1)
+	b.AddWeightedEdge(1, 2, 0.2)
+	b.AddWeightedEdge(2, 5, 0.3)
+	// Route B: 0 -0.3- 3 -0.2- 4 -0.1- 5
+	b.AddWeightedEdge(0, 3, 0.3)
+	b.AddWeightedEdge(3, 4, 0.2)
+	b.AddWeightedEdge(4, 5, 0.1)
+	g := b.MustBuild()
+	// Untyped constant arithmetic is exact in Go; force float64 to
+	// confirm the fixture really produces last-bit disagreement.
+	wa, wb, wc := 0.1, 0.2, 0.3
+	if (wa+wb)+wc == (wc+wb)+wa {
+		t.Fatal("fixture no longer exercises differing float summation order")
+	}
+	spd := NewComputer(g).Run(0)
+	if spd.Sigma[5] != 2 {
+		t.Fatalf("sigma[5] = %v want 2 (both summation orders are ties)", spd.Sigma[5])
+	}
+	// Both final edges must test as shortest-path DAG edges despite the
+	// last-bit disagreement between d(0,2)+0.3 and d(0,4)+0.1.
+	if !spd.OnShortestPath(2, 5, 0.3) || !spd.OnShortestPath(4, 5, 0.1) {
+		t.Fatal("OnShortestPath rejects a tied route")
+	}
+	// Both kernel queue routes must agree: the calendar queue (selected
+	// for this narrow weight range) and the heap (forced).
+	d := NewDijkstra(g)
+	if !d.dial {
+		t.Fatal("expected the calendar route for weights in [0.1, 0.3]")
+	}
+	d.Run(0)
+	if d.SigmaOf(5) != 2 {
+		t.Fatalf("calendar kernel sigma[5] = %v want 2", d.SigmaOf(5))
+	}
+	d.dial = false
+	d.Run(0)
+	if d.SigmaOf(5) != 2 {
+		t.Fatalf("heap kernel sigma[5] = %v want 2", d.SigmaOf(5))
+	}
+}
+
 func TestPathCount(t *testing.T) {
 	if got := PathCount(graph.Cycle(8), 0, 4); got != 2 {
 		t.Fatalf("cycle path count %v", got)

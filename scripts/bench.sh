@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 MODE=${1:-record}
 
-BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkSequentialBatch32|BenchmarkApplyEdits|BenchmarkSwapGraphWarm'}
+BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkEngineBatch32Weighted|BenchmarkSequentialBatch32|BenchmarkApplyEdits|BenchmarkSwapGraphWarm'}
 BENCHTIME=${BENCHTIME:-2s}
 COUNT=${COUNT:-3}
 THRESHOLD_PCT=${THRESHOLD_PCT:-15}
