@@ -12,6 +12,7 @@ import (
 
 	"bcmh/internal/brandes"
 	"bcmh/internal/core"
+	"bcmh/internal/durable"
 	"bcmh/internal/engine"
 	"bcmh/internal/exp"
 	"bcmh/internal/graph"
@@ -490,6 +491,34 @@ func BenchmarkSwapGraphWarm(b *testing.B) {
 		}
 		cur = next
 		add = !add
+	}
+}
+
+// BenchmarkWALAppend measures the per-mutation durability overhead: one
+// CRC32C-framed WAL record (a two-edit batch) encoded and appended,
+// fsync deferred to the interval ticker exactly as in the server's
+// default `-fsync interval` deployment. This is the extra cost PATCH
+// /graphs/{id}/edges pays on a durable session over an in-memory one.
+func BenchmarkWALAppend(b *testing.B) {
+	mgr, err := durable.NewManager(durable.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wal, err := mgr.Create("bench", graph.KarateClub(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer wal.Close()
+	edits := []graph.Edit{
+		{Op: graph.EditAdd, U: 9, V: 25, W: 1},
+		{Op: graph.EditRemove, U: 9, V: 25},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pre := uint64(i)
+		if err := wal.Append(pre, pre+1, edits); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,89 @@
+package main
+
+// Client-side HTTP plumbing shared by the `mutate` and `rank`
+// subcommands: one retry helper with exponential backoff + jitter.
+//
+// Retry policy: a request is retried on errors that happen *before or
+// instead of* a server decision — connection refused/reset, timeouts,
+// and 5xx replies (the server said "not now", e.g. 503 while another
+// instance holds the port, or a session mid-recovery). It is never
+// retried on a 4xx: those are the server deciding the request is wrong,
+// and repeating it cannot change the answer. Non-idempotent requests
+// must not opt into retries at all unless the caller has made them
+// idempotent (the mutate subcommand requires -if-version for exactly
+// this reason: a retried PATCH whose first attempt actually applied is
+// answered 409, not applied twice).
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+)
+
+// retryOptions carries the shared -retries / -retry-max-wait flags.
+type retryOptions struct {
+	retries int
+	maxWait time.Duration
+}
+
+// retryFlags registers the shared retry flags on fs.
+func retryFlags(fs *flag.FlagSet) *retryOptions {
+	var o retryOptions
+	fs.IntVar(&o.retries, "retries", 0, "retry attempts on connection errors and 5xx replies (0: no retries)")
+	fs.DurationVar(&o.maxWait, "retry-max-wait", 15*time.Second, "backoff ceiling between retries")
+	return &o
+}
+
+// backoff returns the wait before retry attempt (1-based): exponential
+// from 200ms, capped at maxWait, with ±25% jitter so a burst of
+// retrying clients does not re-arrive in lockstep.
+func (o retryOptions) backoff(attempt int) time.Duration {
+	d := 200 * time.Millisecond << (attempt - 1)
+	if d > o.maxWait || d <= 0 {
+		d = o.maxWait
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	if d += jitter; d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// doRetry runs build→Do up to 1+retries times under the policy above.
+// build is called per attempt (a *http.Request body cannot be reused).
+// The caller owns the returned response body.
+func doRetry(client *http.Client, build func() (*http.Request, error), o retryOptions) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("server: %d %s", resp.StatusCode, http.StatusText(resp.StatusCode))
+			// Drain so the connection is reusable, then retry.
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= o.retries {
+			return nil, lastErr
+		}
+		wait := o.backoff(attempt + 1)
+		fmt.Fprintf(os.Stderr, "retrying in %v (attempt %d/%d): %v\n", wait.Round(time.Millisecond), attempt+1, o.retries, lastErr)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(wait):
+		}
+	}
+}

@@ -5,9 +5,18 @@
 // all sharing one bounded memory budget with LRU eviction of idle
 // sessions.
 //
+// With -data-dir the store is durable: sessions persist as checksummed
+// snapshots plus a mutation WAL, survive restarts (evicted sessions
+// rehydrate from disk on first touch), and degrade to read-only —
+// mutations 503, estimates keep serving — if the disk fails. -fsync
+// picks the durability/latency trade-off (always | interval | never),
+// -wal-compact-bytes the WAL size that triggers background compaction.
+// See internal/durable and the README's Durability section.
+//
 //	bcserve -addr :8080                          # empty store, upload-only
 //	bcserve -in net.txt                          # one graph, aliased to /estimate etc.
 //	bcserve -in web=web.txt -in road=road.txt    # many named graphs
+//	bcserve -data-dir /var/lib/bcmh              # durable store: survive restarts
 //	bcserve rank -in net.txt -k 10               # offline top-k ranking (no server)
 //	bcserve mutate -graph net -add 3,9 -remove 4,7   # edit a served graph in place
 //
@@ -43,6 +52,13 @@
 //
 //	bcserve rank -in net.txt -k 10 -seed 7
 //	bcserve rank -in net.txt -k 5 -exact      # also print exact top-k + overlap
+//	bcserve rank -url http://localhost:8080 -graph web -k 10   # remote: submit + poll the job API
+//
+// Remote subcommands retry transient failures when asked: -retries N
+// re-sends on connection errors and 5xx responses (never 4xx) with
+// exponential backoff and jitter, capped at -retry-max-wait per wait.
+// For mutate, -retries requires -if-version — the version precondition
+// is what makes a re-sent PATCH idempotent.
 //
 // The `mutate` subcommand is the dynamic-graph client: it PATCHes an
 // edge-edit batch to a running server and prints the applied version,
@@ -72,6 +88,7 @@ import (
 	"time"
 
 	"bcmh/internal/core"
+	"bcmh/internal/durable"
 	"bcmh/internal/engine"
 	"bcmh/internal/graph"
 	"bcmh/internal/rank"
@@ -107,6 +124,9 @@ func main() {
 		maxBody     = flag.Int64("max-body", 64<<20, "request body size limit in bytes (bounds uploads)")
 		maxRankJobs = flag.Int("max-rank-jobs", 0, "maximum concurrently running ranking jobs (0: default)")
 		syncRankN   = flag.Int("rank-sync-n", 0, "graphs with at most this many vertices rank synchronously inside the request (0: only when the request asks)")
+		dataDir     = flag.String("data-dir", "", "directory for durable session state (snapshot + WAL per graph; empty: in-memory only)")
+		fsyncMode   = flag.String("fsync", "interval", `WAL fsync policy: "always", "interval" (group-commit), or "never"`)
+		compactWAL  = flag.Int64("wal-compact-bytes", durable.DefaultCompactBytes, "WAL size that triggers background compaction into a fresh snapshot (<0: never)")
 	)
 	var preloads []preload
 	flag.Func("in", "edge-list file to preload, as `path` or `id=path` (repeatable)", func(v string) error {
@@ -123,11 +143,36 @@ func main() {
 	})
 	flag.Parse()
 
-	st := store.New(store.Config{
+	cfg := store.Config{
 		MaxBytes:        *maxBytes,
 		MaxSessions:     *maxSessions,
 		ResultCacheSize: *cacheSize,
-	})
+	}
+	if *dataDir != "" {
+		policy, err := durable.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("bcserve: %v", err)
+		}
+		mgr, err := durable.NewManager(durable.Options{
+			Dir:          *dataDir,
+			Fsync:        policy,
+			CompactBytes: *compactWAL,
+		})
+		if err != nil {
+			log.Fatalf("bcserve: %v", err)
+		}
+		cfg.Durable = mgr
+	}
+	// Open replays every session persisted under -data-dir (a no-op
+	// without one); unrecoverable sessions are logged and skipped, never
+	// fatal.
+	st, err := store.Open(cfg)
+	if err != nil {
+		log.Fatalf("bcserve: %v", err)
+	}
+	if cfg.Durable != nil {
+		log.Printf("bcserve: durable store at %s (fsync=%s): %d session(s) recovered", *dataDir, *fsyncMode, st.Len())
+	}
 	for _, p := range preloads {
 		raw, idOf, err := graph.ReadEdgeListFile(p.path)
 		if err != nil {
@@ -136,6 +181,16 @@ func main() {
 		// Preloaded graphs are pinned: operator-chosen working sets
 		// must not fall out under upload pressure.
 		sess, err := st.CreateFromGraph(p.id, raw, idOf, true)
+		if errors.Is(err, store.ErrExists) && cfg.Durable != nil {
+			// The id came back from the data dir (with any mutations the
+			// file on disk does not know about); serve the recovered
+			// session rather than clobbering it.
+			if sess, err = st.Get(p.id); err == nil {
+				log.Printf("bcserve: session %q recovered from %s at version %d (preload file %s left unread)",
+					p.id, *dataDir, sess.Version(), p.path)
+				continue
+			}
+		}
 		if err != nil {
 			log.Fatalf("bcserve: preparing %s: %v", p.path, err)
 		}
@@ -218,6 +273,7 @@ func runMutateCLI(args []string) error {
 		ifVersion = fs.Int64("if-version", -1, "apply only if the graph is at exactly this version (-1: unconditional)")
 		timeout   = fs.Duration("timeout", 30*time.Second, "request timeout")
 	)
+	retry := retryFlags(fs)
 	var edits []store.EditRequest
 	addEdit := func(op string) func(string) error {
 		return func(v string) error {
@@ -253,6 +309,12 @@ func runMutateCLI(args []string) error {
 	if len(edits) == 0 {
 		return fmt.Errorf("no edits; pass -add and/or -remove")
 	}
+	if retry.retries > 0 && *ifVersion < 0 {
+		// Without the precondition, a retry whose first attempt actually
+		// applied (but whose reply was lost) would apply the batch twice.
+		// With it, the duplicate is answered 409 — the retry is safe.
+		return fmt.Errorf("-retries requires -if-version: an unconditioned PATCH is not idempotent")
+	}
 	req := store.MutateRequest{Edits: edits}
 	if *ifVersion >= 0 {
 		v := uint64(*ifVersion)
@@ -264,13 +326,15 @@ func runMutateCLI(args []string) error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPatch,
-		strings.TrimRight(*url, "/")+"/graphs/"+*graphID+"/edges", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(httpReq)
+	resp, err := doRetry(http.DefaultClient, func() (*http.Request, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPatch,
+			strings.TrimRight(*url, "/")+"/graphs/"+*graphID+"/edges", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		return httpReq, nil
+	}, *retry)
 	if err != nil {
 		return err
 	}
@@ -300,20 +364,40 @@ func runMutateCLI(args []string) error {
 func runRankCLI(args []string) error {
 	fs := flag.NewFlagSet("bcserve rank", flag.ExitOnError)
 	var (
-		in     = fs.String("in", "", "edge-list file to rank (required)")
-		k      = fs.Int("k", rank.DefaultK, "ranking size")
-		steps  = fs.Int("steps", rank.DefaultInitialSteps, "round-1 per-candidate chain steps")
-		rounds = fs.Int("rounds", rank.DefaultMaxRounds, "maximum refinement rounds")
-		growth = fs.Float64("growth", rank.DefaultGrowth, "per-round budget multiplier (≥ 1)")
-		budget = fs.Int("budget", 0, "total MH step budget over all candidates (0: unbounded)")
-		sample = fs.Int("sample", 0, "rank only this many highest-degree vertices (0: all)")
-		conc   = fs.Int("conc", 0, "worker pool width (0: GOMAXPROCS)")
-		seed   = fs.Uint64("seed", 1, "run seed (reproducible)")
-		z      = fs.Float64("z", rank.DefaultConfidence, "confidence-interval half-width multiplier")
-		estim  = fs.String("estimator", rank.EstimatorUnbiased.String(), `ranking statistic: "unbiased" or "chain-avg"`)
-		exact  = fs.Bool("exact", false, "also compute exact betweenness (O(nm) Brandes) and report the top-k overlap")
+		in      = fs.String("in", "", "edge-list file to rank (required)")
+		k       = fs.Int("k", rank.DefaultK, "ranking size")
+		steps   = fs.Int("steps", rank.DefaultInitialSteps, "round-1 per-candidate chain steps")
+		rounds  = fs.Int("rounds", rank.DefaultMaxRounds, "maximum refinement rounds")
+		growth  = fs.Float64("growth", rank.DefaultGrowth, "per-round budget multiplier (≥ 1)")
+		budget  = fs.Int("budget", 0, "total MH step budget over all candidates (0: unbounded)")
+		sample  = fs.Int("sample", 0, "rank only this many highest-degree vertices (0: all)")
+		conc    = fs.Int("conc", 0, "worker pool width (0: GOMAXPROCS)")
+		seed    = fs.Uint64("seed", 1, "run seed (reproducible)")
+		z       = fs.Float64("z", rank.DefaultConfidence, "confidence-interval half-width multiplier")
+		estim   = fs.String("estimator", rank.EstimatorUnbiased.String(), `ranking statistic: "unbiased" or "chain-avg"`)
+		exact   = fs.Bool("exact", false, "also compute exact betweenness (O(nm) Brandes) and report the top-k overlap")
+		url     = fs.String("url", "", "rank a served graph over HTTP instead of a local file (with -graph)")
+		graphID = fs.String("graph", "", "graph session id to rank on the server at -url")
+		poll    = fs.Duration("poll", 500*time.Millisecond, "job polling interval in remote mode")
 	)
+	retry := retryFlags(fs)
 	fs.Parse(args)
+	if *graphID != "" || *url != "" {
+		if *graphID == "" || *url == "" {
+			return fmt.Errorf("remote mode needs both -url and -graph")
+		}
+		if *in != "" {
+			return fmt.Errorf("-in and -url/-graph are mutually exclusive")
+		}
+		if *exact {
+			return fmt.Errorf("-exact is local-only (the server does not expose whole-graph Brandes)")
+		}
+		return runRankRemote(*url, *graphID, store.RankRequest{
+			K: *k, InitialSteps: *steps, Growth: *growth, MaxRounds: *rounds,
+			TotalBudget: *budget, MaxCandidates: *sample, Concurrency: *conc,
+			Seed: *seed, Confidence: *z, Estimator: *estim,
+		}, *retry, *poll)
+	}
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("-in is required")
@@ -399,4 +483,124 @@ func runRankCLI(args []string) error {
 		fmt.Printf("\ntop-%d overlap: %d/%d\n", len(exactTop), hits, len(exactTop))
 	}
 	return nil
+}
+
+// runRankRemote ranks a served graph: POST /graphs/{id}/rank, then —
+// when the server answers 202 with a job — poll /jobs/{jid} until the
+// job reaches a terminal status. Both the submission and each poll go
+// through the retry helper, so a briefly unreachable or restarting
+// server (crash recovery in progress) does not kill a long-running
+// ranking from the client side.
+func runRankRemote(baseURL, graphID string, req store.RankRequest, retry retryOptions, poll time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	base := strings.TrimRight(baseURL, "/")
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := doRetry(http.DefaultClient, func() (*http.Request, error) {
+		r, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/graphs/"+graphID+"/rank", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		r.Header.Set("Content-Type", "application/json")
+		return r, nil
+	}, retry)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// Synchronous mode: the body is the final result.
+		var res store.RankResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return fmt.Errorf("decoding result: %w", err)
+		}
+		printRankResult(res)
+		return nil
+	case http.StatusAccepted:
+	default:
+		return remoteError(resp)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil || job.ID == "" {
+		return fmt.Errorf("decoding job reply: %v", err)
+	}
+	resp.Body.Close()
+	log.Printf("bcserve rank: job %s on %q accepted; polling every %v", job.ID, graphID, poll)
+	lastRound := -1
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+		resp, err := doRetry(http.DefaultClient, func() (*http.Request, error) {
+			return http.NewRequestWithContext(ctx, http.MethodGet, base+"/jobs/"+job.ID, nil)
+		}, retry)
+		if err != nil {
+			return err
+		}
+		var info struct {
+			Status   string          `json:"status"`
+			Error    string          `json:"error"`
+			Progress json.RawMessage `json:"progress"`
+			Result   json.RawMessage `json:"result"`
+		}
+		if resp.StatusCode != http.StatusOK {
+			err := remoteError(resp)
+			resp.Body.Close()
+			return err
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&info)
+		resp.Body.Close()
+		if decErr != nil {
+			return fmt.Errorf("decoding job status: %w", decErr)
+		}
+		switch info.Status {
+		case "running":
+			var p store.RankProgress
+			if len(info.Progress) > 0 && json.Unmarshal(info.Progress, &p) == nil && p.Round > lastRound {
+				lastRound = p.Round
+				log.Printf("bcserve rank: round %d done — %d candidates alive, %d steps spent", p.Round, p.Active, p.TotalSteps)
+			}
+		case "done":
+			var res store.RankResult
+			if err := json.Unmarshal(info.Result, &res); err != nil {
+				return fmt.Errorf("decoding job result: %w", err)
+			}
+			printRankResult(res)
+			return nil
+		case "failed", "cancelled":
+			return fmt.Errorf("job %s %s: %s", job.ID, info.Status, info.Error)
+		default:
+			return fmt.Errorf("job %s in unknown status %q", job.ID, info.Status)
+		}
+	}
+}
+
+// remoteError extracts the server's {"error": ...} body into an error.
+func remoteError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %d %s: %s", resp.StatusCode, http.StatusText(resp.StatusCode), e.Error)
+	}
+	return fmt.Errorf("server: %d %s", resp.StatusCode, http.StatusText(resp.StatusCode))
+}
+
+// printRankResult renders a remote ranking in the local table format
+// (vertices are input labels, as served).
+func printRankResult(res store.RankResult) {
+	fmt.Printf("# top-%d of graph %s v%d (%d candidates) — %d rounds, %d MH steps, %d pruned, %.0fms\n",
+		res.K, res.Graph, res.GraphVersion, res.Candidates, res.Rounds, res.TotalSteps, res.Pruned, res.ElapsedMS)
+	fmt.Printf("%4s %8s %12s %12s %8s\n", "rank", "vertex", "estimate", "±interval", "steps")
+	for i, e := range res.Top {
+		fmt.Printf("%4d %8d %12.6f %12.6f %8d\n", i+1, e.Vertex, e.Estimate, e.Upper-e.Estimate, e.Steps)
+	}
 }

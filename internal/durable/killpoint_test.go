@@ -1,0 +1,225 @@
+package durable_test
+
+// The kill-point sweep: the central crash-recovery correctness test of
+// the durability layer, run against the real store wiring rather than
+// the durable package alone (hence the external test package — store
+// imports durable, so this direction is cycle-free).
+//
+// Method: run a fixed workload (create a session, apply K mutation
+// batches) once against a fault-free counting filesystem to learn how
+// many write-path operations it performs, and once against a plain
+// in-memory store to record the reference lineage — for every graph
+// version, the canonical graph bytes and one seeded estimate. Then, for
+// each write-path operation index i, re-run the workload with a crash
+// injected at op i (every filesystem operation from i on fails,
+// exactly as if the process had died), reboot a store over the
+// surviving files, and require:
+//
+//   - recovery never fails (torn tails are truncated, not fatal);
+//   - the recovered version is one the reference lineage actually
+//     produced, and at least the newest durably-acknowledged one
+//     (FsyncAlways makes every acked mutation durable);
+//   - the recovered graph's canonical bytes — and therefore its seeded
+//     estimates, which are deterministic per CSR — are bit-identical to
+//     the reference at that version.
+//
+// In -short mode (the per-PR CI job) the sweep strides over the kill
+// points; the nightly job runs every one.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bcmh/internal/core"
+	"bcmh/internal/durable"
+	"bcmh/internal/graph"
+	"bcmh/internal/store"
+)
+
+const (
+	kpID    = "kp"
+	kpSeed  = 42
+	kpQuery = 3 // estimate target vertex
+	kpSteps = 512
+)
+
+// kpGraph is the workload's base graph: a 12-vertex path.
+func kpGraph() *graph.Graph {
+	b := graph.NewBuilder(12)
+	for v := 1; v < 12; v++ {
+		b.AddEdge(v-1, v)
+	}
+	return b.MustBuild()
+}
+
+// kpBatches are the workload's mutation batches (versions 1..3); every
+// intermediate graph stays connected.
+func kpBatches() [][]graph.Edit {
+	return [][]graph.Edit{
+		{{Op: graph.EditAdd, U: 0, V: 5, W: 1}},
+		{{Op: graph.EditAdd, U: 2, V: 8, W: 1}, {Op: graph.EditAdd, U: 1, V: 9, W: 1}},
+		{{Op: graph.EditRemove, U: 0, V: 5}, {Op: graph.EditAdd, U: 4, V: 11, W: 1}},
+	}
+}
+
+// refState is the reference lineage entry for one version.
+type refState struct {
+	bytes []byte
+	est   float64
+}
+
+func kpEstimate(t *testing.T, g *graph.Graph) float64 {
+	t.Helper()
+	est, err := core.EstimateBC(g, kpQuery, core.Options{Steps: kpSteps, Seed: kpSeed})
+	if err != nil {
+		t.Fatalf("EstimateBC: %v", err)
+	}
+	return est.Value
+}
+
+func kpBytes(t *testing.T, g *graph.Graph) []byte {
+	t.Helper()
+	buf, err := graph.AppendBinary(nil, g, nil)
+	if err != nil {
+		t.Fatalf("AppendBinary: %v", err)
+	}
+	return buf
+}
+
+// kpReference runs the workload on a plain in-memory store and records
+// the never-crashed lineage.
+func kpReference(t *testing.T) map[uint64]refState {
+	t.Helper()
+	st := store.New(store.Config{})
+	defer st.Close()
+	sess, err := st.CreateFromGraph(kpID, kpGraph(), nil, false)
+	if err != nil {
+		t.Fatalf("reference create: %v", err)
+	}
+	ref := make(map[uint64]refState)
+	record := func() {
+		g := sess.Engine().Graph()
+		ref[g.Version()] = refState{bytes: kpBytes(t, g), est: kpEstimate(t, g)}
+	}
+	record()
+	for i, batch := range kpBatches() {
+		if _, err := st.Mutate(sess, batch, nil); err != nil {
+			t.Fatalf("reference batch %d: %v", i, err)
+		}
+		record()
+	}
+	return ref
+}
+
+// kpRun drives the workload against st, tolerating injected failures,
+// and returns the highest durably-acknowledged version (-1: none —
+// with FsyncAlways every successful Mutate return IS a durable ack,
+// and a successfully created non-degraded session durably holds v0).
+func kpRun(st *store.Store) int {
+	acked := -1
+	sess, err := st.CreateFromGraph(kpID, kpGraph(), nil, false)
+	if err != nil {
+		return acked
+	}
+	if deg, _ := sess.Degraded(); !deg {
+		acked = 0
+	}
+	for _, batch := range kpBatches() {
+		if out, err := st.Mutate(sess, batch, nil); err == nil {
+			acked = int(out.Info.Version)
+		}
+	}
+	return acked
+}
+
+func TestKillPointSweep(t *testing.T) {
+	ref := kpReference(t)
+
+	// Fault-free counting run: learn the number of kill points and pin
+	// the clean-run recovery while we are at it.
+	cleanDir := t.TempDir()
+	ffs := durable.NewFaultFS(durable.OS)
+	mgr, err := durable.NewManager(durable.Options{
+		Dir: cleanDir, FS: ffs, Fsync: durable.FsyncAlways, CompactBytes: -1, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	st := store.New(store.Config{Durable: mgr})
+	finalVersion := kpRun(st)
+	st.Close()
+	totalOps := ffs.Ops()
+	if finalVersion != len(kpBatches()) {
+		t.Fatalf("fault-free run acked version %d, want %d", finalVersion, len(kpBatches()))
+	}
+	if totalOps < 8 {
+		t.Fatalf("suspiciously few write ops (%d): the sweep would not cover the write path", totalOps)
+	}
+	t.Logf("workload performs %d write-path operations", totalOps)
+	kpAssertRecovery(t, cleanDir, finalVersion, ref)
+
+	stride := 1
+	if testing.Short() {
+		// Per-PR smoke slice: every 4th kill point still crosses the
+		// snapshot write, the WAL appends, and both fsync points.
+		stride = 4
+	}
+	for i := 1; i <= totalOps; i += stride {
+		t.Run(fmt.Sprintf("crash-at-op-%02d", i), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := durable.NewFaultFS(durable.OS)
+			ffs.Arm(i, durable.FaultCrash)
+			acked := -1
+			mgr, err := durable.NewManager(durable.Options{
+				Dir: dir, FS: ffs, Fsync: durable.FsyncAlways, CompactBytes: -1, Logf: t.Logf,
+			})
+			if err == nil {
+				st := store.New(store.Config{Durable: mgr})
+				acked = kpRun(st)
+				st.Close()
+			}
+			if !ffs.Crashed() {
+				t.Fatalf("crash armed at op %d never fired (%d ops ran)", i, ffs.Ops())
+			}
+			kpAssertRecovery(t, dir, acked, ref)
+		})
+	}
+}
+
+// kpAssertRecovery boots a fresh store over dir's surviving files and
+// checks the recovered state against the reference lineage.
+func kpAssertRecovery(t *testing.T, dir string, acked int, ref map[uint64]refState) {
+	t.Helper()
+	mgr, err := durable.NewManager(durable.Options{Dir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("recovery manager: %v", err)
+	}
+	st, err := store.Open(store.Config{Durable: mgr})
+	if err != nil {
+		t.Fatalf("recovery boot failed: %v", err)
+	}
+	defer st.Close()
+	sess, err := st.Get(kpID)
+	if err != nil {
+		if acked >= 0 {
+			t.Fatalf("durably acked version %d lost entirely: %v", acked, err)
+		}
+		return // crashed before anything was durable — nothing to recover is correct
+	}
+	v := sess.Version()
+	want, ok := ref[v]
+	if !ok {
+		t.Fatalf("recovered version %d was never produced by the reference lineage", v)
+	}
+	if acked >= 0 && v < uint64(acked) {
+		t.Fatalf("recovered version %d rolls back the durably acked %d", v, acked)
+	}
+	g := sess.Engine().Graph()
+	if !bytes.Equal(kpBytes(t, g), want.bytes) {
+		t.Fatalf("recovered graph at version %d is not bit-identical to the reference", v)
+	}
+	if got := kpEstimate(t, g); got != want.est {
+		t.Fatalf("recovered estimate %v != reference %v at version %d (determinism broken)", got, want.est, v)
+	}
+}

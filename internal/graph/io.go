@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -63,8 +64,8 @@ func ReadEdgeList(rd io.Reader) (*Graph, []int64, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("graph: line %d: bad weight %q: %v", lineNo, fields[2], err)
 			}
-			if w <= 0 {
-				return nil, nil, fmt.Errorf("graph: line %d: non-positive weight %v", lineNo, w)
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, nil, fmt.Errorf("graph: line %d: weight %v is not a positive finite number", lineNo, w)
 			}
 		}
 		edges = append(edges, edge{intern(u), intern(v), w})

@@ -155,6 +155,9 @@ func (st *Store) Mutate(sess *Session, edits []graph.Edit, ifVersion *uint64) (M
 	if sess.Closed() {
 		return MutateOutcome{}, ErrSessionClosed
 	}
+	if deg, cause := sess.Degraded(); deg {
+		return MutateOutcome{}, fmt.Errorf("%w: %v", ErrDegraded, cause)
+	}
 	cur := sess.eng.Graph()
 	if ifVersion != nil && *ifVersion != cur.Version() {
 		return MutateOutcome{}, fmt.Errorf("%w: if_version %d, session %q is at version %d",
@@ -178,6 +181,17 @@ func (st *Store) Mutate(sess *Session, edits []graph.Edit, ifVersion *uint64) (M
 		return MutateOutcome{}, fmt.Errorf("%w: mutated session %q needs ~%d bytes, budget is %d",
 			ErrTooLarge, sess.id, newCost, st.cfg.MaxBytes)
 	}
+	// Write-ahead: the batch must be durably accepted before it becomes
+	// visible in memory — a swap the WAL never recorded would silently
+	// roll back at the next restart. A WAL failure degrades the session
+	// (read-only from here on) and rejects this batch; the graph the
+	// clients see still matches the disk.
+	if sess.dur != nil {
+		if err := sess.dur.Append(cur.Version(), next.Version(), edits); err != nil {
+			sess.degrade(err)
+			return MutateOutcome{}, fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+	}
 	swap, err := sess.eng.SwapGraph(next, rep.Pairs)
 	if err != nil {
 		return MutateOutcome{}, err
@@ -185,6 +199,7 @@ func (st *Store) Mutate(sess *Session, edits []graph.Edit, ifVersion *uint64) (M
 	st.recost(sess, newCost)
 	sess.mutations.Add(1)
 	sess.signalMutation()
+	st.maybeCompact(sess)
 	return MutateOutcome{
 		Info:    sess.info(),
 		Added:   rep.Added,
@@ -192,6 +207,32 @@ func (st *Store) Mutate(sess *Session, edits []graph.Edit, ifVersion *uint64) (M
 		Changed: rep.Changed,
 		Swap:    swap,
 	}, nil
+}
+
+// maybeCompact kicks off a background compaction when sess's WAL has
+// outgrown the threshold. Called with the session's mutation lock held:
+// the rotation (cheap — close, rename, reopen) happens here, under the
+// lock, so the graph version captured right after covers every record
+// in the rotated file; the expensive part (snapshot encode + atomic
+// write) runs in a goroutine off the lock, concurrent with new appends
+// into the fresh WAL.
+func (st *Store) maybeCompact(sess *Session) {
+	dl := sess.dur
+	if dl == nil || !dl.ShouldCompact() || !dl.StartCompacting() {
+		return
+	}
+	if err := dl.Rotate(); err != nil {
+		// Rotate already marked the log failed; the session degrades on
+		// the next append (or via the failure hook).
+		dl.EndCompacting()
+		return
+	}
+	g := sess.eng.Graph() // covers every rotated record: we hold mutMtx
+	labels := sess.labels
+	go func() {
+		defer dl.EndCompacting()
+		_ = dl.FinishCompact(g, labels) // failure degrades via the hook
+	}()
 }
 
 // mutateStatus maps mutation-path errors onto pinned statuses: version
@@ -205,7 +246,7 @@ func mutateStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrTooLarge):
 		return http.StatusRequestEntityTooLarge
-	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrStoreClosed):
+	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrStoreClosed), errors.Is(err, ErrDegraded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest

@@ -41,6 +41,11 @@ type SessionStatsResponse struct {
 	N  int    `json:"n"`
 	M  int    `json:"m"`
 	engine.Stats
+	// Durability state (see Info): present only on durable sessions.
+	Durable       bool   `json:"durable,omitempty"`
+	WalBytes      int64  `json:"wal_bytes,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 // ServerOptions tunes NewServerWithOptions beyond the store itself.
@@ -293,12 +298,19 @@ func (s *Session) sessionHandler() http.Handler {
 			snap := s.eng.Snapshot()
 			stats := s.eng.Stats()
 			stats.Version = snap.Version
-			engine.WriteJSON(w, http.StatusOK, SessionStatsResponse{
-				ID:    s.id,
-				N:     snap.Graph.N(),
-				M:     snap.Graph.M(),
-				Stats: stats,
-			})
+			resp := SessionStatsResponse{
+				ID:       s.id,
+				N:        snap.Graph.N(),
+				M:        snap.Graph.M(),
+				Stats:    stats,
+				Durable:  s.durable,
+				WalBytes: s.WalBytes(),
+			}
+			if deg, cause := s.Degraded(); deg {
+				resp.Degraded = true
+				resp.DegradedCause = cause.Error()
+			}
+			engine.WriteJSON(w, http.StatusOK, resp)
 		})
 		mux.Handle("/", inner)
 		s.handler = mux

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bcmh/internal/durable"
 	"bcmh/internal/engine"
 	"bcmh/internal/graph"
 )
@@ -72,6 +73,11 @@ var (
 	// on a job's context when its session's graph mutates and the job
 	// was started with the on_mutate=cancel policy.
 	ErrMutatedUnderJob = errors.New("store: graph mutated under job")
+	// ErrDegraded: the session is read-only because a durable write
+	// (WAL append, snapshot write) failed; mutations are rejected (503)
+	// while estimates keep serving. The wrapped error carries the
+	// pinned first cause.
+	ErrDegraded = errors.New("store: session is degraded (read-only): durable write failed")
 )
 
 // Defaults for the zero Config.
@@ -97,6 +103,14 @@ type Config struct {
 	MaxSessions int
 	// ResultCacheSize is passed to each session's engine.Config.
 	ResultCacheSize int
+	// Durable, when non-nil, persists every session to the manager's
+	// data directory: a snapshot on creation, a WAL record per applied
+	// mutation batch, file deletion on Delete (and only on Delete —
+	// eviction keeps the files and the session rehydrates from them on
+	// next access). Open additionally replays the whole catalog at
+	// boot. When a durable write fails the session degrades to
+	// read-only (ErrDegraded) instead of taking the process down.
+	Durable *durable.Manager
 }
 
 func (c Config) withDefaults() Config {
@@ -125,15 +139,20 @@ type Store struct {
 	builds    atomic.Uint64
 }
 
-// buildCall is one in-flight session creation; concurrent Create calls
-// for the same id block on done and share sess/err.
+// buildCall is one in-flight session creation or disk rehydration;
+// concurrent Create/rehydrate calls for the same id block on done and
+// share sess/err.
 type buildCall struct {
-	done chan struct{}
-	sess *Session
-	err  error
+	done      chan struct{}
+	sess      *Session
+	err       error
+	rehydrate bool // loading existing durable state, not creating anew
 }
 
-// New returns an empty store.
+// New returns an empty store. With Config.Durable set the store
+// persists sessions as they are created and rehydrates evicted ones on
+// access, but does not load the on-disk catalog — use Open for a boot
+// that recovers every persisted session up front.
 func New(cfg Config) *Store {
 	return &Store{
 		cfg:      cfg.withDefaults(),
@@ -141,6 +160,33 @@ func New(cfg Config) *Store {
 		lru:      list.New(),
 		building: make(map[string]*buildCall),
 	}
+}
+
+// Open is New plus boot-time recovery: every session found in the
+// durable data directory is replayed (snapshot + WAL) and inserted.
+// Per-session recovery failures are logged and skipped — a torn or
+// corrupt session never refuses the boot; only an unreadable data
+// directory does. Sessions beyond the memory budget are evicted
+// LRU-first immediately, which is harmless: their files stay put and
+// they rehydrate on first access.
+func Open(cfg Config) (*Store, error) {
+	st := New(cfg)
+	if cfg.Durable == nil {
+		return st, nil
+	}
+	ids, err := cfg.Durable.List()
+	if err != nil {
+		return nil, fmt.Errorf("store: listing durable sessions: %w", err)
+	}
+	for _, id := range ids {
+		if CheckID(id) != nil {
+			continue // foreign directory, not one of ours
+		}
+		if _, err := st.rehydrate(id); err != nil {
+			cfg.Durable.Logf("store: skipping unrecoverable session %q: %v", id, err)
+		}
+	}
+	return st, nil
 }
 
 // Session is one resident graph with its engine and serving state. All
@@ -173,6 +219,50 @@ type Session struct {
 	byLabel     map[int64]int
 	verMu       sync.Mutex
 	verCh       chan struct{}
+
+	// Durability (when the store has a durable.Manager): dur is the
+	// open snapshot+WAL handle (nil when the session failed to persist
+	// at birth and is serving degraded); durable records that the
+	// session was *meant* to persist; degraded pins the first durable
+	// write failure — from then on the session is read-only: mutations
+	// are rejected with ErrDegraded, estimates keep serving.
+	durable  bool
+	dur      *durable.Log
+	degraded atomic.Pointer[degradedInfo]
+}
+
+// degradedInfo pins the first durable write failure of a session.
+type degradedInfo struct {
+	cause error
+	at    time.Time
+}
+
+// degrade flips the session to read-only, keeping the first cause.
+// Idempotent and safe from any goroutine (the WAL group-commit timer
+// included).
+func (s *Session) degrade(cause error) {
+	s.degraded.CompareAndSwap(nil, &degradedInfo{cause: cause, at: time.Now()})
+}
+
+// Durable reports whether the session is configured for persistence.
+func (s *Session) Durable() bool { return s.durable }
+
+// Degraded returns the session's read-only degradation state and its
+// pinned first cause (nil when healthy).
+func (s *Session) Degraded() (bool, error) {
+	if d := s.degraded.Load(); d != nil {
+		return true, d.cause
+	}
+	return false, nil
+}
+
+// WalBytes returns the session's current WAL size (0 for non-durable
+// sessions).
+func (s *Session) WalBytes() int64 {
+	if s.dur == nil {
+		return 0
+	}
+	return s.dur.WalBytes()
 }
 
 // ID returns the session's store id.
@@ -273,17 +363,43 @@ func (st *Store) Create(id string, r io.Reader) (*Session, error) {
 		return nil, ErrExists
 	}
 	if bc, ok := st.building[id]; ok {
-		// Singleflight: ride the in-flight build.
+		// Singleflight: ride the in-flight build — unless it is a disk
+		// rehydration, whose success means the id is taken.
 		st.mu.Unlock()
 		<-bc.done
+		if bc.rehydrate && bc.err == nil {
+			return nil, ErrExists
+		}
 		return bc.sess, bc.err
+	}
+	if st.durableExists(id) {
+		// The id belongs to an evicted-but-persisted session. Creating
+		// over it would clobber its files; the id stays taken until an
+		// explicit Delete.
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w (session %q is persisted on disk; delete it first)", ErrExists, id)
 	}
 	bc := &buildCall{done: make(chan struct{})}
 	st.building[id] = bc
 	st.mu.Unlock()
 
 	bc.sess, bc.err = st.build(id, r)
+	return st.finishBuild(id, bc)
+}
 
+// durableExists reports whether id has durable files on disk. Caller
+// holds st.mu (the Stat-shaped probe is cheap enough to sit under it,
+// and keeping it there makes the exists-check atomic with the
+// residency check).
+func (st *Store) durableExists(id string) bool {
+	return st.cfg.Durable != nil && st.cfg.Durable.Has(id)
+}
+
+// finishBuild completes a build/rehydrate singleflight: register the
+// session (unless the store closed or the id appeared meanwhile),
+// release the waiters, and — on failure — tear the orphan session down
+// without touching its durable files.
+func (st *Store) finishBuild(id string, bc *buildCall) (*Session, error) {
 	st.mu.Lock()
 	delete(st.building, id)
 	if bc.err == nil {
@@ -296,7 +412,7 @@ func (st *Store) Create(id string, r io.Reader) (*Session, error) {
 			bc.err = st.insertLocked(bc.sess)
 		}
 		if bc.err != nil {
-			bc.sess.cancel(ErrSessionClosed)
+			bc.sess.shutdown()
 			bc.sess = nil
 		}
 	}
@@ -305,13 +421,98 @@ func (st *Store) Create(id string, r io.Reader) (*Session, error) {
 	return bc.sess, bc.err
 }
 
+// shutdown cancels the session's lifecycle and closes (not deletes) its
+// durable handle.
+func (s *Session) shutdown() {
+	s.cancel(ErrSessionClosed)
+	if s.dur != nil {
+		_ = s.dur.Close()
+	}
+}
+
 // build parses and prepares a session outside the store lock.
 func (st *Store) build(id string, r io.Reader) (*Session, error) {
 	g, idOf, err := graph.ReadEdgeList(r)
 	if err != nil {
 		return nil, err
 	}
-	return st.newSession(id, g, idOf, false)
+	sess, err := st.newSession(id, g, idOf, false)
+	if err != nil {
+		return nil, err
+	}
+	st.persistNew(sess)
+	return sess, nil
+}
+
+// persistNew writes a fresh session's durable state (snapshot + empty
+// WAL). A persistence failure does not fail the creation: the session
+// serves, but degraded — read-only with the cause pinned — so one bad
+// disk never turns the upload path into an outage.
+func (st *Store) persistNew(sess *Session) {
+	if st.cfg.Durable == nil {
+		return
+	}
+	sess.durable = true
+	dl, err := st.cfg.Durable.Create(sess.id, sess.eng.Graph(), sess.labels)
+	if err != nil {
+		sess.degrade(err)
+		return
+	}
+	sess.dur = dl
+	dl.OnFailure(sess.degrade)
+}
+
+// rehydrate loads an evicted (or boot-time) durable session back from
+// disk, sharing the creation singleflight so concurrent accesses do one
+// recovery.
+func (st *Store) rehydrate(id string) (*Session, error) {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrStoreClosed
+	}
+	if el, ok := st.sessions[id]; ok {
+		// Raced back in while we were deciding.
+		st.touch(el)
+		st.mu.Unlock()
+		return el.Value.(*Session), nil
+	}
+	if bc, ok := st.building[id]; ok {
+		st.mu.Unlock()
+		<-bc.done
+		return bc.sess, bc.err
+	}
+	if !st.durableExists(id) {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	bc := &buildCall{done: make(chan struct{}), rehydrate: true}
+	st.building[id] = bc
+	st.mu.Unlock()
+
+	bc.sess, bc.err = st.buildFromDisk(id)
+	return st.finishBuild(id, bc)
+}
+
+// buildFromDisk recovers one session's graph from snapshot + WAL and
+// rebuilds its engine over the recovered version.
+func (st *Store) buildFromDisk(id string) (*Session, error) {
+	rec, dl, err := st.cfg.Durable.Recover(id)
+	if err != nil {
+		return nil, fmt.Errorf("store: recovering session %q: %w", id, err)
+	}
+	// The persisted graph is the prepared (connected) one, so the
+	// engine performs no component extraction and rec.Labels maps
+	// engine vertices directly.
+	sess, err := st.newSession(id, rec.Graph, rec.Labels, false)
+	if err != nil {
+		_ = dl.Close()
+		return nil, err
+	}
+	sess.durable = true
+	sess.dur = dl
+	dl.OnFailure(sess.degrade)
+	return sess, nil
 }
 
 // CreateFromGraph creates a session directly from an in-memory graph,
@@ -323,21 +524,37 @@ func (st *Store) CreateFromGraph(id string, g *graph.Graph, idOf []int64, pinned
 	if err := CheckID(id); err != nil {
 		return nil, err
 	}
-	sess, err := st.newSession(id, g, idOf, pinned)
-	if err != nil {
-		return nil, err
-	}
+	// Claim the id before building: a resident session, an in-flight
+	// build, or durable files on disk (an evicted or boot-recovered
+	// session) all mean the id is taken — building first would waste an
+	// engine build and, worse, persisting would clobber the files of the
+	// session that owns the id.
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
-		sess.cancel(ErrSessionClosed)
+		st.mu.Unlock()
 		return nil, ErrStoreClosed
 	}
-	if err := st.insertLocked(sess); err != nil {
-		sess.cancel(ErrSessionClosed)
-		return nil, err
+	if _, ok := st.sessions[id]; ok {
+		st.mu.Unlock()
+		return nil, ErrExists
 	}
-	return sess, nil
+	if _, ok := st.building[id]; ok {
+		st.mu.Unlock()
+		return nil, ErrExists
+	}
+	if st.durableExists(id) {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("%w (session %q is persisted on disk; delete it first)", ErrExists, id)
+	}
+	bc := &buildCall{done: make(chan struct{})}
+	st.building[id] = bc
+	st.mu.Unlock()
+
+	bc.sess, bc.err = st.newSession(id, g, idOf, pinned)
+	if bc.err == nil {
+		st.persistNew(bc.sess)
+	}
+	return st.finishBuild(id, bc)
 }
 
 // CheckID validates a session id against the store id alphabet (the
@@ -451,52 +668,69 @@ func (st *Store) evictLocked(keep *Session) {
 	}
 }
 
-// removeLocked unregisters a session and cancels its context. Caller
-// holds st.mu.
+// removeLocked unregisters a session, cancels its context, and closes
+// (not deletes) its durable handle. Caller holds st.mu.
 func (st *Store) removeLocked(el *list.Element, sess *Session) {
 	st.lru.Remove(el)
 	delete(st.sessions, sess.id)
 	st.total -= sess.Cost()
-	sess.cancel(ErrSessionClosed)
+	sess.shutdown()
 }
 
-// Get returns the session named id, bumping its recency. The caller
-// must not hold the session across slow work if it wants eviction
-// protection — use Acquire for serving requests.
+// Get returns the session named id, bumping its recency. A durable
+// session that was evicted is transparently rehydrated from disk. The
+// caller must not hold the session across slow work if it wants
+// eviction protection — use Acquire for serving requests.
 func (st *Store) Get(id string) (*Session, error) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.closed {
+		st.mu.Unlock()
 		return nil, ErrStoreClosed
 	}
-	el, ok := st.sessions[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	if el, ok := st.sessions[id]; ok {
+		st.touch(el)
+		sess := el.Value.(*Session)
+		st.mu.Unlock()
+		return sess, nil
 	}
-	st.touch(el)
-	return el.Value.(*Session), nil
+	st.mu.Unlock()
+	// Not resident: rehydrate answers with the recovered session or
+	// ErrNotFound when no durable state exists either.
+	return st.rehydrate(id)
 }
 
 // Acquire is Get plus an in-flight reservation: until the returned
 // release function is called, the session cannot be evicted by the
 // memory budget (explicit Delete still closes it, aborting the work —
 // that is the point of lifecycle cancellation). Every serving request
-// runs between Acquire and release.
+// runs between Acquire and release. Like Get, Acquire transparently
+// rehydrates an evicted durable session.
 func (st *Store) Acquire(id string) (*Session, func(), error) {
-	st.mu.Lock()
-	if st.closed {
+	var sess *Session
+	for attempt := 0; ; attempt++ {
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return nil, nil, ErrStoreClosed
+		}
+		if el, ok := st.sessions[id]; ok {
+			st.touch(el)
+			sess = el.Value.(*Session)
+			sess.active.Add(1)
+			st.mu.Unlock()
+			break
+		}
 		st.mu.Unlock()
-		return nil, nil, ErrStoreClosed
+		if attempt > 0 {
+			// Rehydrated and evicted again before we could reserve it —
+			// the budget is clearly too tight to hold it; give up rather
+			// than loop.
+			return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		if _, err := st.rehydrate(id); err != nil {
+			return nil, nil, err
+		}
 	}
-	el, ok := st.sessions[id]
-	if !ok {
-		st.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, id)
-	}
-	st.touch(el)
-	sess := el.Value.(*Session)
-	sess.active.Add(1)
-	st.mu.Unlock()
 	var once sync.Once
 	release := func() {
 		once.Do(func() {
@@ -518,18 +752,37 @@ func (st *Store) Acquire(id string) (*Session, func(), error) {
 
 // Delete removes the session named id and cancels its context with
 // cause ErrSessionClosed, aborting its in-flight estimates promptly.
+// For durable sessions this is the one operation that deletes the
+// on-disk files — eviction never does — so it also removes an evicted
+// session that exists only on disk.
 func (st *Store) Delete(id string) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.closed {
-		return ErrStoreClosed
+	for {
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return ErrStoreClosed
+		}
+		if bc, ok := st.building[id]; ok {
+			// A build or rehydration is in flight; deleting files under
+			// it would race. Wait for it to settle, then delete.
+			st.mu.Unlock()
+			<-bc.done
+			continue
+		}
+		el, resident := st.sessions[id]
+		if resident {
+			st.removeLocked(el, el.Value.(*Session))
+		}
+		onDisk := st.durableExists(id)
+		st.mu.Unlock()
+		if !resident && !onDisk {
+			return fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		if onDisk {
+			return st.cfg.Durable.Remove(id)
+		}
+		return nil
 	}
-	el, ok := st.sessions[id]
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrNotFound, id)
-	}
-	st.removeLocked(el, el.Value.(*Session))
-	return nil
 }
 
 // Info is a point-in-time description of one session, JSON-shaped for
@@ -547,12 +800,20 @@ type Info struct {
 	Active    int64     `json:"active"`
 	Created   time.Time `json:"created"`
 	LastUsed  time.Time `json:"last_used"`
+	// Durable reports that the session persists to disk; WalBytes is its
+	// current WAL size. Degraded means a durable write failed and the
+	// session is read-only, with DegradedCause carrying the pinned first
+	// failure.
+	Durable       bool   `json:"durable,omitempty"`
+	WalBytes      int64  `json:"wal_bytes,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	DegradedCause string `json:"degraded_cause,omitempty"`
 }
 
 func (s *Session) info() Info {
 	snap := s.eng.Snapshot()
 	g := snap.Graph
-	return Info{
+	info := Info{
 		ID:        s.id,
 		N:         g.N(),
 		M:         g.M(),
@@ -563,7 +824,14 @@ func (s *Session) info() Info {
 		Active:    s.active.Load(),
 		Created:   s.created,
 		LastUsed:  s.LastUsed(),
+		Durable:   s.durable,
+		WalBytes:  s.WalBytes(),
 	}
+	if deg, cause := s.Degraded(); deg {
+		info.Degraded = true
+		info.DegradedCause = cause.Error()
+	}
+	return info
 }
 
 // List describes every resident session, sorted by id.

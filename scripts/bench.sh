@@ -24,7 +24,7 @@ cd "$(dirname "$0")/.."
 
 MODE=${1:-record}
 
-BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkEngineBatch32Weighted|BenchmarkSequentialBatch32|BenchmarkApplyEdits|BenchmarkSwapGraphWarm'}
+BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkEngineBatch32Weighted|BenchmarkSequentialBatch32|BenchmarkApplyEdits|BenchmarkSwapGraphWarm|BenchmarkWALAppend'}
 BENCHTIME=${BENCHTIME:-2s}
 COUNT=${COUNT:-3}
 THRESHOLD_PCT=${THRESHOLD_PCT:-15}
@@ -38,8 +38,13 @@ compare)
     # sort chronologically).
     BASELINE=$(git ls-files 'BENCH_*.json' | sort | tail -n 1)
     if [ -z "$BASELINE" ]; then
-        echo "bench.sh compare: no committed BENCH_*.json baseline found" >&2
-        exit 2
+        # A fresh clone (or a history rewrite) has nothing to diff
+        # against. That is not a failure of the code under test — warn
+        # loudly so CI logs show the gap, and succeed so the first PR
+        # of a new line can land and record the baseline.
+        echo "bench.sh compare: WARNING: no committed BENCH_*.json baseline found;" >&2
+        echo "bench.sh compare: nothing to compare against — skipping (run 'scripts/bench.sh' to record one)" >&2
+        exit 0
     fi
     # A caller-supplied OUT is kept (CI uploads the fresh numbers as an
     # artifact); otherwise write to a temp file cleaned up on exit.
