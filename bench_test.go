@@ -20,6 +20,7 @@ import (
 	"bcmh/internal/rank"
 	"bcmh/internal/rng"
 	"bcmh/internal/sampler"
+	"bcmh/internal/sssp"
 )
 
 // fixtures are shared across benchmarks and built once.
@@ -492,6 +493,113 @@ func BenchmarkSwapGraphWarm(b *testing.B) {
 		cur = next
 		add = !add
 	}
+}
+
+// streamEditsBench is the shared body of BenchmarkStreamEdits: one
+// single-edit batch per iteration (a chord toggled on and off) applied
+// to a warm engine while a background goroutine keeps EstimateBatch
+// traffic flowing — the serving regime a live mutation feed runs in.
+// stream=true uses the delta-overlay fast path (ApplyEditsOverlay +
+// StreamSwap), stream=false the full rebuild (ApplyEdits + SwapGraph).
+func streamEditsBench(b *testing.B, stream bool) {
+	fixtures()
+	eng, err := engine.New(fixBA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A deterministic non-edge to toggle.
+	r := rng.New(43)
+	var cu, cv int
+	for {
+		cu, cv = r.Intn(fixBA.N()), r.Intn(fixBA.N())
+		if cu != cv && !fixBA.HasEdge(cu, cv) {
+			break
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		opts := engine.BatchOptions{Estimation: core.Options{MaxSteps: 256}, Seed: 7}
+		targets := []int{fixTop, 1, 2, 3}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := eng.EstimateBatch(targets, opts); err != nil {
+				return
+			}
+		}
+	}()
+	cur := eng.Graph()
+	add := true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := graph.EditRemove
+		if add {
+			op = graph.EditAdd
+		}
+		edit := []graph.Edit{{Op: op, U: cu, V: cv}}
+		var next *graph.Graph
+		var rep *graph.EditReport
+		if stream {
+			next, rep, err = graph.ApplyEditsOverlay(cur, edit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.StreamSwap(next, rep.Pairs); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			next, rep, err = graph.ApplyEdits(cur, edit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.SwapGraph(next, rep.Pairs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cur = next
+		add = !add
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}
+
+// BenchmarkStreamEdits measures sustained single-edit mutation
+// throughput on the 2000-vertex scale-free workload under concurrent
+// estimation traffic: the overlay fast path versus the full-rebuild
+// baseline it must beat by ≥10x (ISSUE acceptance).
+func BenchmarkStreamEdits(b *testing.B) {
+	b.Run("stream", func(b *testing.B) { streamEditsBench(b, true) })
+	b.Run("rebuild", func(b *testing.B) { streamEditsBench(b, false) })
+}
+
+// BenchmarkOverlayBFS measures the traversal-side cost of serving from
+// a delta overlay: one full BFS on the 2000-vertex workload, clean CSR
+// versus the same graph carrying a 64-edit overlay (the acceptance
+// bound is ≤10% overhead). The kernel is the reseatable arena BFS every
+// estimator chain runs on.
+func BenchmarkOverlayBFS(b *testing.B) {
+	fixtures()
+	over, _, err := graph.ApplyEditsOverlay(fixBA, editBatch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clean := over.Compact()
+	run := func(b *testing.B, g *graph.Graph) {
+		k := sssp.NewBFS(g)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Run(i % g.N())
+		}
+	}
+	b.Run("clean", func(b *testing.B) { run(b, clean) })
+	b.Run("overlay", func(b *testing.B) { run(b, over) })
 }
 
 // BenchmarkWALAppend measures the per-mutation durability overhead: one

@@ -27,6 +27,7 @@
 //	GET    /graphs/{id}                one session's description
 //	DELETE /graphs/{id}                drop a session (aborts its in-flight work)
 //	PATCH  /graphs/{id}/edges          {"edits":[{"op":"add","u":3,"v":9}], "if_version": 2}
+//	POST   /graphs/{id}/stream         NDJSON edit batches in, per-batch acks + summary out
 //	POST   /graphs/{id}/estimate       {"vertex": 3, "epsilon": 0.05, "seed": 7}
 //	POST   /graphs/{id}/estimate/batch {"targets": [3, 9, 3], "seed": 7}
 //	GET    /graphs/{id}/exact/3
@@ -68,6 +69,18 @@
 //
 //	bcserve mutate -url http://localhost:8080 -graph web -add 3,9 -add 4,8,2.5 -remove 1,2
 //	bcserve mutate -graph web -if-version 3 -remove 7,9
+//
+// The `stream` subcommand is mutate's bulk counterpart: it pipes an
+// NDJSON file (or stdin) of edit batches — one PATCH-shaped request per
+// line — to POST /graphs/{id}/stream, which applies them over the
+// overlay fast path (O(batch) per batch instead of a full rebuild),
+// printing one acknowledgement per batch as the server emits it and the
+// stream totals at the end. Rejected batches are reported and the
+// stream continues; the exit status is non-zero if any batch was
+// rejected:
+//
+//	bcserve stream -graph web -in edits.ndjson
+//	live-feed | bcserve stream -url http://localhost:8080 -graph web
 package main
 
 import (
@@ -77,6 +90,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -114,6 +128,12 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "stream" {
+		if err := runStreamCLI(os.Args[2:]); err != nil {
+			log.Fatalf("bcserve stream: %v", err)
+		}
+		return
+	}
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		cacheSize   = flag.Int("cache", engine.DefaultCacheSize, "per-session completed-estimate LRU capacity (<0 disables)")
@@ -127,6 +147,7 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "directory for durable session state (snapshot + WAL per graph; empty: in-memory only)")
 		fsyncMode   = flag.String("fsync", "interval", `WAL fsync policy: "always", "interval" (group-commit), or "never"`)
 		compactWAL  = flag.Int64("wal-compact-bytes", durable.DefaultCompactBytes, "WAL size that triggers background compaction into a fresh snapshot (<0: never)")
+		compactRate = flag.Int64("wal-compact-rate", 0, "sustained WAL growth in bytes/second that triggers compaction before the size threshold (0: 1MiB/s, or never when -wal-compact-bytes<0; <0: size-only)")
 	)
 	var preloads []preload
 	flag.Func("in", "edge-list file to preload, as `path` or `id=path` (repeatable)", func(v string) error {
@@ -157,6 +178,7 @@ func main() {
 			Dir:          *dataDir,
 			Fsync:        policy,
 			CompactBytes: *compactWAL,
+			CompactRate:  *compactRate,
 		})
 		if err != nil {
 			log.Fatalf("bcserve: %v", err)
@@ -355,6 +377,101 @@ func runMutateCLI(args []string) error {
 	fmt.Printf("graph %s: version %d (n=%d, m=%d, ~%d bytes)\n", out.ID, out.Version, out.N, out.M, out.Bytes)
 	fmt.Printf("  +%d edge(s), -%d edge(s); %d vertices changed: %v\n", out.Added, out.Removed, len(out.Changed), out.Changed)
 	fmt.Printf("  μ-cache: %d retained, %d invalidated\n", out.MuRetained, out.MuInvalidated)
+	return nil
+}
+
+// runStreamCLI implements `bcserve stream`: pipe NDJSON edit batches to
+// POST /graphs/{id}/stream and print the per-batch acknowledgements as
+// they come back. No retries: a stream is not idempotent (batches
+// without if_version re-apply), and the per-line acks already tell the
+// operator exactly how far a broken run got.
+func runStreamCLI(args []string) error {
+	fs := flag.NewFlagSet("bcserve stream", flag.ExitOnError)
+	var (
+		url     = fs.String("url", "http://localhost:8080", "server base URL")
+		graphID = fs.String("graph", "", "graph session id to stream into (required)")
+		in      = fs.String("in", "-", `NDJSON batch file, one {"edits":[...]} per line ("-": stdin)`)
+		quiet   = fs.Bool("quiet", false, "print only rejected batches and the summary")
+	)
+	fs.Parse(args)
+	if *graphID == "" {
+		fs.Usage()
+		return fmt.Errorf("-graph is required")
+	}
+	var src io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(*url, "/")+"/graphs/"+*graphID+"/stream", src)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	// Every response line is either a StreamLine or the StreamSummary;
+	// this struct is the superset of both.
+	type replyLine struct {
+		Seq           int    `json:"seq"`
+		Applied       any    `json:"applied"` // bool per batch, int on the summary
+		Version       uint64 `json:"version"`
+		N             int    `json:"n"`
+		M             int    `json:"m"`
+		Added         int    `json:"added"`
+		Removed       int    `json:"removed"`
+		MuRetained    int    `json:"mu_retained"`
+		MuInvalidated int    `json:"mu_invalidated"`
+		Error         string `json:"error"`
+		Done          bool   `json:"done"`
+		Rejected      int    `json:"rejected"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	sawSummary := false
+	rejected := 0
+	for dec.More() {
+		// Fresh per line: applied lines omit "error" (and vice versa),
+		// and Decode leaves absent fields untouched.
+		var line replyLine
+		if err := dec.Decode(&line); err != nil {
+			return fmt.Errorf("decoding server reply: %w", err)
+		}
+		switch {
+		case line.Done:
+			sawSummary = true
+			rejected = line.Rejected
+			applied, _ := line.Applied.(float64)
+			fmt.Printf("stream done: %d applied, %d rejected, graph at version %d\n",
+				int(applied), line.Rejected, line.Version)
+		case line.Error != "":
+			fmt.Printf("batch %d REJECTED: %s\n", line.Seq, line.Error)
+		default:
+			if !*quiet {
+				fmt.Printf("batch %d: version %d (n=%d, m=%d) +%d -%d; μ-cache %d retained, %d invalidated\n",
+					line.Seq, line.Version, line.N, line.M, line.Added, line.Removed,
+					line.MuRetained, line.MuInvalidated)
+			}
+		}
+	}
+	if !sawSummary {
+		return fmt.Errorf("stream ended without a summary (connection cut mid-stream?)")
+	}
+	if rejected > 0 {
+		return fmt.Errorf("%d batch(es) rejected", rejected)
+	}
 	return nil
 }
 

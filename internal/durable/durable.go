@@ -81,9 +81,23 @@ const (
 	// DefaultCompactBytes is the WAL size past which a session is
 	// compacted (WAL folded into a fresh snapshot).
 	DefaultCompactBytes = 4 << 20
+	// DefaultCompactRate is the sustained WAL growth rate, in bytes per
+	// second, past which a session is compacted even before the WAL
+	// reaches DefaultCompactBytes — a stream writing this fast would
+	// otherwise outgrow the log faster than background folds retire it.
+	DefaultCompactRate = 1 << 20
 	// maxRecordBytes bounds one WAL record frame; a corrupt length
 	// prefix cannot provoke a giant allocation.
 	maxRecordBytes = 16 << 20
+)
+
+// Growth-rate trigger tuning: the rate is measured over rateWindow, and
+// the open window is only trusted once minRateWindow of it has elapsed
+// (before that the last completed window answers, so one burst right
+// after a rollover is not mistaken for an enormous rate).
+const (
+	rateWindow    = time.Second
+	minRateWindow = rateWindow / 8
 )
 
 // castagnoli is the CRC32C table (the checksum used by both file
@@ -144,8 +158,16 @@ type Options struct {
 	// DefaultFsyncInterval).
 	FsyncInterval time.Duration
 	// CompactBytes is the WAL size past which ShouldCompact reports
-	// true (zero: DefaultCompactBytes; negative: never).
+	// true (zero: DefaultCompactBytes; negative: never by size).
 	CompactBytes int64
+	// CompactRate is the sustained WAL growth rate, in bytes per
+	// second, past which ShouldCompact reports true even below
+	// CompactBytes, so a fast stream compacts early instead of racing
+	// the background fold ever further past the size threshold (zero:
+	// DefaultCompactRate, or never when CompactBytes is negative —
+	// an explicit "never compact" stays never; negative: never by
+	// rate).
+	CompactRate int64
 	// Logf receives recovery and compaction warnings (torn records,
 	// discontinuous replays). Nil means the standard logger.
 	Logf func(format string, args ...any)
@@ -171,6 +193,13 @@ func NewManager(opts Options) (*Manager, error) {
 	}
 	if opts.CompactBytes == 0 {
 		opts.CompactBytes = DefaultCompactBytes
+	}
+	if opts.CompactRate == 0 {
+		if opts.CompactBytes < 0 {
+			opts.CompactRate = -1
+		} else {
+			opts.CompactRate = DefaultCompactRate
+		}
 	}
 	if opts.Logf == nil {
 		opts.Logf = log.Printf
@@ -390,6 +419,10 @@ type Log struct {
 	failed   error       // sticky first write failure
 	closed   bool
 
+	rateMark      time.Time // growth-rate window start (zero: no window yet)
+	rateMarkBytes int64     // walBytes when the window opened
+	lastRate      float64   // bytes/s of the last completed window
+
 	onFail     atomic.Pointer[func(error)]
 	compacting atomic.Bool
 }
@@ -585,6 +618,7 @@ func (l *Log) Append(pre, post uint64, edits []graph.Edit) error {
 		return err
 	}
 	l.walBytes += int64(len(frame))
+	l.observeGrowthLocked()
 	switch l.m.opts.Fsync {
 	case FsyncAlways:
 		if err := l.wal.Sync(); err != nil {
@@ -617,16 +651,64 @@ func (l *Log) groupCommit() {
 	l.dirty = false
 }
 
-// ShouldCompact reports whether the WAL has outgrown the compaction
-// threshold (and the Log is healthy and not already compacting).
+// observeGrowthLocked advances the WAL growth-rate window on an
+// append: open it on the first record, roll it over once a full
+// rateWindow has elapsed. Caller holds l.mu.
+func (l *Log) observeGrowthLocked() {
+	now := time.Now()
+	if l.rateMark.IsZero() {
+		l.rateMark, l.rateMarkBytes = now, l.walBytes
+		return
+	}
+	if el := now.Sub(l.rateMark); el >= rateWindow {
+		l.lastRate = float64(l.walBytes-l.rateMarkBytes) / el.Seconds()
+		l.rateMark, l.rateMarkBytes = now, l.walBytes
+	}
+}
+
+// growthRateLocked estimates the current WAL growth rate in bytes per
+// second. The open window answers once minRateWindow of it has
+// elapsed; before that, the last completed window does. An idle log
+// decays naturally — elapsed time keeps growing while bytes do not.
+// Caller holds l.mu.
+func (l *Log) growthRateLocked() float64 {
+	if l.rateMark.IsZero() {
+		return 0
+	}
+	el := time.Since(l.rateMark)
+	if el < minRateWindow {
+		return l.lastRate
+	}
+	return float64(l.walBytes-l.rateMarkBytes) / el.Seconds()
+}
+
+// ShouldCompact reports whether the WAL has outgrown a compaction
+// threshold (and the Log is healthy and not already compacting). Two
+// triggers, either sufficient: absolute size (walBytes past
+// Options.CompactBytes), and sustained growth rate (the WAL growing
+// faster than Options.CompactRate bytes/s while already holding at
+// least one window's worth of data at that rate — the floor keeps a
+// fast but tiny stream from folding on every append). The rate
+// trigger is what lets a sustained mutation stream compact early and
+// often instead of racing the background fold ever further past the
+// size threshold.
 func (l *Log) ShouldCompact() bool {
-	threshold := l.m.opts.CompactBytes
-	if threshold < 0 || l.compacting.Load() {
+	if l.compacting.Load() {
 		return false
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.failed == nil && !l.closed && l.walBytes > threshold
+	if l.failed != nil || l.closed {
+		return false
+	}
+	if t := l.m.opts.CompactBytes; t >= 0 && l.walBytes > t {
+		return true
+	}
+	r := l.m.opts.CompactRate
+	if r < 0 {
+		return false
+	}
+	return l.walBytes > r*int64(rateWindow/time.Second) && l.growthRateLocked() > float64(r)
 }
 
 // StartCompacting claims the single compaction slot; the caller must
@@ -671,6 +753,9 @@ func (l *Log) Rotate() error {
 	l.wal = wal
 	l.walBytes = 0
 	l.dirty = false
+	// The growth-rate window restarts with the fresh WAL; the rate that
+	// triggered this rotation must not immediately trigger the next.
+	l.rateMark, l.rateMarkBytes, l.lastRate = time.Time{}, 0, 0
 	return nil
 }
 

@@ -412,3 +412,93 @@ func TestSnapshotCorruptionDetected(t *testing.T) {
 		t.Fatal("Recover accepted a corrupt snapshot")
 	}
 }
+
+// TestShouldCompactGrowthRate pins the second compaction trigger: a
+// WAL growing faster than CompactRate bytes/s compacts before it ever
+// reaches CompactBytes, a trickle or an idle log never does, and
+// rotation restarts the measurement so one hot window cannot trigger
+// twice. The window start is backdated directly (same package) so the
+// test is deterministic without wall-clock sleeps.
+func TestShouldCompactGrowthRate(t *testing.T) {
+	m := newTestManager(t, Options{CompactBytes: 1 << 30, CompactRate: 1024})
+	g := pathGraph(t, 64)
+	l, err := m.Create("s", g, nil)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer l.Close()
+	cur := g
+	for v := 2; v < 64; v++ {
+		cur = applyAndLog(t, l, cur, add(0, v))
+	}
+	if l.WalBytes() <= 1024 {
+		t.Fatalf("test needs the WAL past the %d-byte rate floor, got %d", 1024, l.WalBytes())
+	}
+
+	// A window younger than minRateWindow is not trusted, and with no
+	// completed window behind it the rate reads as zero.
+	l.mu.Lock()
+	l.rateMark = time.Now()
+	l.mu.Unlock()
+	if l.ShouldCompact() {
+		t.Fatal("ShouldCompact fired on an untrusted newborn window")
+	}
+
+	// The same bytes observed over a quarter window is a fast stream:
+	// > 4 KiB/s against a 1 KiB/s trigger.
+	l.mu.Lock()
+	l.rateMark = l.rateMark.Add(-rateWindow / 4)
+	l.mu.Unlock()
+	if !l.ShouldCompact() {
+		t.Fatal("ShouldCompact missed a WAL growing above CompactRate")
+	}
+
+	// Observed over an hour the same bytes are a trickle.
+	l.mu.Lock()
+	l.rateMark = time.Now().Add(-time.Hour)
+	l.mu.Unlock()
+	if l.ShouldCompact() {
+		t.Fatal("ShouldCompact fired on a slow-growing WAL")
+	}
+
+	// Rotation resets the window: the rate that triggered the fold must
+	// not immediately trigger the next one.
+	l.mu.Lock()
+	l.rateMark = time.Now().Add(-rateWindow / 4)
+	l.mu.Unlock()
+	if !l.ShouldCompact() {
+		t.Fatal("rate trigger did not re-arm")
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := l.FinishCompact(cur, nil); err != nil {
+		t.Fatalf("FinishCompact: %v", err)
+	}
+	if l.ShouldCompact() {
+		t.Fatal("ShouldCompact fired right after rotation emptied the WAL")
+	}
+}
+
+// TestCompactRateDefaults pins the Options plumbing: zero inherits the
+// default, except that an explicit never-by-size stays never overall,
+// and negative disables the rate trigger outright.
+func TestCompactRateDefaults(t *testing.T) {
+	cases := []struct {
+		bytes, rate int64
+		want        int64
+	}{
+		{0, 0, DefaultCompactRate},
+		{1 << 10, 0, DefaultCompactRate},
+		{-1, 0, -1},
+		{-1, 512, 512},
+		{0, -1, -1},
+	}
+	for _, c := range cases {
+		m := newTestManager(t, Options{CompactBytes: c.bytes, CompactRate: c.rate})
+		if got := m.opts.CompactRate; got != c.want {
+			t.Errorf("CompactBytes=%d CompactRate=%d: resolved rate %d, want %d",
+				c.bytes, c.rate, got, c.want)
+		}
+	}
+}

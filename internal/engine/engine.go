@@ -103,7 +103,12 @@ type Engine struct {
 	lifecycle context.Context
 
 	snap    atomic.Pointer[snapshot]
-	swapMtx sync.Mutex // serializes SwapGraph
+	swapMtx sync.Mutex // serializes SwapGraph/StreamSwap/InstallCompacted
+
+	// tracker amortizes affected-set computation across StreamSwap
+	// batches (guarded by swapMtx; nil until the first stream batch,
+	// reset by a full-CSR SwapGraph).
+	tracker *graph.AffectedTracker
 
 	results *lruCache
 
@@ -279,9 +284,25 @@ func (e *Engine) SwapGraph(next *graph.Graph, edited [][2]int) (SwapReport, erro
 			nAffected++
 		}
 	}
+	// An overlay descendant keeps the current pool: kernels reseat in
+	// O(overlay) and warm chain memos survive where the affected set
+	// allows. A fresh CSR gets a fresh pool (old buffers would rebuild on
+	// every checkout anyway) and invalidates the stream tracker's forest
+	// baseline.
+	var pool *mcmc.BufferPool
+	if graph.SameStorage(cur.g, next) {
+		pool = cur.pool
+		pool.Advance(next, affected)
+		if e.tracker != nil {
+			e.tracker.Absorb(affected)
+		}
+	} else {
+		pool = mcmc.NewBufferPool(next)
+		e.tracker = nil
+	}
 	fresh := &snapshot{
 		g:       next,
-		pool:    mcmc.NewBufferPool(next),
+		pool:    pool,
 		version: next.Version(),
 		mu:      make(map[int]*muEntry),
 	}
@@ -304,6 +325,107 @@ func (e *Engine) SwapGraph(next *graph.Graph, edited [][2]int) (SwapReport, erro
 	e.muRetained.Add(uint64(report.MuRetained))
 	e.muInvalidated.Add(uint64(report.MuInvalidated))
 	return report, nil
+}
+
+// StreamSwap is SwapGraph's streaming fast path: next must be an
+// overlay descendant of the serving graph (graph.ApplyEditsOverlay on
+// it — same backing storage), and pairs the batch's endpoint pairs.
+// Instead of the full O(n+m) swap pipeline it runs in O(batch + caches):
+// the affected set comes from an amortized block-forest tracker rather
+// than a fresh decomposition, the connectivity check is skipped (the
+// caller vets removals with graph.PairConnected before applying them —
+// an overlay edit batch that passes cannot disconnect the graph, since
+// additions never disconnect and vetted removals by definition leave
+// their endpoints connected), and the buffer pool is the same object
+// carried forward, so warm chain memos and kernels survive per the
+// carry rules in internal/mcmc. Nil pairs mark every vertex affected.
+func (e *Engine) StreamSwap(next *graph.Graph, pairs [][2]int) (SwapReport, error) {
+	if next == nil {
+		return SwapReport{}, fmt.Errorf("engine: StreamSwap on nil graph")
+	}
+	if next.Directed() {
+		return SwapReport{}, fmt.Errorf("engine: StreamSwap requires an undirected graph")
+	}
+	e.swapMtx.Lock()
+	defer e.swapMtx.Unlock()
+	cur := e.current()
+	if !graph.SameStorage(cur.g, next) {
+		return SwapReport{}, fmt.Errorf("engine: StreamSwap requires an overlay descendant of the serving graph (use SwapGraph for a rebuilt CSR)")
+	}
+	if next.Version() <= cur.version {
+		return SwapReport{}, fmt.Errorf("engine: %w (serving %d, offered %d)", ErrVersionRegression, cur.version, next.Version())
+	}
+	if e.tracker == nil {
+		e.tracker = graph.NewAffectedTracker(cur.g)
+	}
+	affected := e.tracker.Affected(next, pairs)
+	nAffected := 0
+	for _, a := range affected {
+		if a {
+			nAffected++
+		}
+	}
+	cur.pool.Advance(next, affected)
+	fresh := &snapshot{
+		g:       next,
+		pool:    cur.pool,
+		version: next.Version(),
+		mu:      make(map[int]*muEntry),
+	}
+	report := SwapReport{Version: next.Version(), Affected: nAffected}
+	cur.muMtx.Lock()
+	for r, ent := range cur.mu {
+		if affected[r] {
+			report.MuInvalidated++
+			continue
+		}
+		fresh.mu[r] = ent
+		report.MuRetained++
+	}
+	cur.muMtx.Unlock()
+	e.snap.Store(fresh)
+	e.swaps.Add(1)
+	e.muRetained.Add(uint64(report.MuRetained))
+	e.muInvalidated.Add(uint64(report.MuInvalidated))
+	return report, nil
+}
+
+// InstallCompacted replaces the serving graph with an equivalent
+// compacted representation of the *same version* — the tail end of
+// background overlay compaction (graph.Compact + graph.RebaseCompacted
+// run off-lock, then the result lands here). Nothing logical changes:
+// the version, the μ-cache, and the buffer pool all carry over intact
+// (pool caches are version-keyed, and Compact preserves adjacency
+// order, so even cached target snapshots stay bit-identical). The
+// stream tracker survives too — its soundness ledger tracks the
+// logical graph, not its storage. In-flight estimates keep their old
+// snapshot; later stream batches chain off the compacted storage.
+func (e *Engine) InstallCompacted(next *graph.Graph) error {
+	if next == nil {
+		return fmt.Errorf("engine: InstallCompacted on nil graph")
+	}
+	e.swapMtx.Lock()
+	defer e.swapMtx.Unlock()
+	cur := e.current()
+	if next.Version() != cur.version {
+		return fmt.Errorf("engine: InstallCompacted must keep the serving version (serving %d, offered %d)", cur.version, next.Version())
+	}
+	if next.N() != cur.g.N() || next.Directed() != cur.g.Directed() {
+		return fmt.Errorf("engine: InstallCompacted changes the graph shape")
+	}
+	fresh := &snapshot{
+		g:       next,
+		pool:    cur.pool,
+		version: cur.version,
+		mu:      make(map[int]*muEntry),
+	}
+	cur.muMtx.Lock()
+	for r, ent := range cur.mu {
+		fresh.mu[r] = ent
+	}
+	cur.muMtx.Unlock()
+	e.snap.Store(fresh)
+	return nil
 }
 
 // MuStats returns the exact concentration profile μ(r) (and with it the

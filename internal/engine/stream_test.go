@@ -1,0 +1,240 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"bcmh/internal/brandes"
+	"bcmh/internal/core"
+	"bcmh/internal/graph"
+)
+
+func mustOverlay(t *testing.T, g *graph.Graph, edits []graph.Edit) (*graph.Graph, *graph.EditReport) {
+	t.Helper()
+	next, rep, err := graph.ApplyEditsOverlay(g, edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next, rep
+}
+
+// TestStreamSwapReusesPoolAndRetainsMu pins the fast path's two
+// promises: the buffer pool object survives the swap (no rebuild), and
+// μ retention matches SwapGraph's block rule (the tracker is exact on
+// its first batch, when the forest is fresh).
+func TestStreamSwapReusesPoolAndRetainsMu(t *testing.T) {
+	g := twoRingsGraph(8, 8) // A = 0..7, cut = 7, B = 7..14
+	e, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inA, inB = 2, 10
+	msA, err := e.MuStats(inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MuStats(inB); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := e.Stats().MuMisses
+	pool := e.Pool()
+
+	next, rep := mustOverlay(t, e.Graph(), []graph.Edit{{Op: graph.EditAdd, U: 8, V: 12}})
+	swap, err := e.StreamSwap(next, rep.Pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swap.Version != 1 || e.Version() != 1 || e.Graph() != next {
+		t.Fatalf("stream swap not installed: %+v, serving %d", swap, e.Version())
+	}
+	if e.Pool() != pool {
+		t.Fatal("StreamSwap rebuilt the buffer pool; the fast path must carry it over")
+	}
+	if swap.MuRetained != 1 || swap.MuInvalidated != 1 {
+		t.Fatalf("retained/invalidated = %d/%d, want 1/1", swap.MuRetained, swap.MuInvalidated)
+	}
+
+	// The ring-A entry serves without recomputation and stays exact.
+	msA2, err := e.MuStats(inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().MuMisses; got != missesBefore {
+		t.Fatalf("retained μ entry recomputed: misses %d -> %d", missesBefore, got)
+	}
+	if msA2 != msA {
+		t.Fatalf("retained μ entry changed: %+v vs %+v", msA2, msA)
+	}
+	wantA := brandes.BCOfVertexExact(next, inA)
+	if diff := msA2.BC - wantA; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("retained BC(%d) = %v, exact on new graph = %v", inA, msA2.BC, wantA)
+	}
+	// The ring-B entry recomputes against the overlay graph.
+	msB2, err := e.MuStats(inB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := brandes.BCOfVertexExact(next, inB)
+	if diff := msB2.BC - wantB; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("recomputed BC(%d) = %v, exact on new graph = %v", inB, msB2.BC, wantB)
+	}
+
+	// Estimates on the streamed snapshot are bit-identical to a fresh
+	// engine over the same logical graph.
+	opts := core.Options{Steps: 2048, Seed: 11}
+	got, err := e.Estimate(inB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := New(next.Compact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Estimate(inB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Value != want.Value {
+		t.Fatalf("streamed estimate %v != fresh-engine reference %v", got.Value, want.Value)
+	}
+}
+
+// TestStreamSwapChained walks several overlay generations through one
+// engine and pool, checking exactness at every step.
+func TestStreamSwapChained(t *testing.T) {
+	e, err := New(twoRingsGraph(7, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := e.Pool()
+	edits := [][2]int{{7, 9}, {8, 10}, {9, 11}, {10, 12}}
+	for gen, uv := range edits {
+		cur := e.Graph()
+		next, rep := mustOverlay(t, cur, []graph.Edit{{Op: graph.EditAdd, U: uv[0], V: uv[1]}})
+		if _, err := e.StreamSwap(next, rep.Pairs); err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		if e.Pool() != pool {
+			t.Fatalf("gen %d: pool replaced", gen)
+		}
+		for _, r := range []int{2, 9} {
+			got, err := e.ExactBCOf(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := brandes.BCOfVertexExact(next, r)
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("gen %d: ExactBCOf(%d) = %v, want %v", gen, r, got, want)
+			}
+		}
+	}
+}
+
+// TestSwapGraphOverlayDescendantReusesPool: the classic SwapGraph entry
+// point also keeps the pool when handed an overlay descendant (the two
+// entry points share the storage test, not the affected-set machinery).
+func TestSwapGraphOverlayDescendantReusesPool(t *testing.T) {
+	e, err := New(twoRingsGraph(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := e.Pool()
+	next, rep := mustOverlay(t, e.Graph(), []graph.Edit{{Op: graph.EditAdd, U: 8, V: 12}})
+	if _, err := e.SwapGraph(next, rep.Pairs); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pool() != pool {
+		t.Fatal("SwapGraph should reuse the pool for an overlay descendant")
+	}
+	// A rebuilt CSR drops it.
+	rebuilt, rep2 := mustApply(t, next.Compact(), []graph.Edit{{Op: graph.EditAdd, U: 9, V: 13}})
+	if _, err := e.SwapGraph(rebuilt, rep2.Pairs); err != nil {
+		t.Fatal(err)
+	}
+	if e.Pool() == pool {
+		t.Fatal("SwapGraph must rebuild the pool for a fresh CSR")
+	}
+}
+
+// TestStreamSwapValidation pins the fast path's preconditions.
+func TestStreamSwapValidation(t *testing.T) {
+	e, err := New(twoRingsGraph(6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Graph()
+	// A rebuilt CSR is not an overlay descendant.
+	rebuilt, _ := mustApply(t, g, []graph.Edit{{Op: graph.EditAdd, U: 0, V: 2}})
+	if _, err := e.StreamSwap(rebuilt, [][2]int{{0, 2}}); err == nil {
+		t.Fatal("StreamSwap accepted a rebuilt CSR")
+	}
+	if _, err := e.StreamSwap(nil, nil); err == nil {
+		t.Fatal("StreamSwap accepted a nil graph")
+	}
+	// Version must advance: install an overlay bump, then offer it again.
+	next, rep := mustOverlay(t, g, []graph.Edit{{Op: graph.EditAdd, U: 0, V: 2}})
+	if _, err := e.StreamSwap(next, rep.Pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.StreamSwap(next, rep.Pairs); !errors.Is(err, ErrVersionRegression) {
+		t.Fatalf("replayed version not rejected: %v", err)
+	}
+	if e.Version() != 1 {
+		t.Fatalf("failed stream swaps moved the version to %d", e.Version())
+	}
+}
+
+// TestInstallCompacted pins the compaction handoff: same version, same
+// pool, μ-cache intact, and later stream batches chain off the new
+// storage.
+func TestInstallCompacted(t *testing.T) {
+	e, err := New(twoRingsGraph(8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, rep := mustOverlay(t, e.Graph(), []graph.Edit{{Op: graph.EditAdd, U: 8, V: 12}})
+	if _, err := e.StreamSwap(next, rep.Pairs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.MuStats(2); err != nil {
+		t.Fatal(err)
+	}
+	missesBefore := e.Stats().MuMisses
+	pool := e.Pool()
+
+	c := e.Graph().Compact()
+	// Wrong version is refused.
+	stale := twoRingsGraph(8, 8)
+	if err := e.InstallCompacted(stale); err == nil {
+		t.Fatal("InstallCompacted accepted a version mismatch")
+	}
+	if err := e.InstallCompacted(c); err != nil {
+		t.Fatal(err)
+	}
+	if e.Version() != 1 || e.Graph() != c {
+		t.Fatal("compacted graph not installed at the serving version")
+	}
+	if e.Pool() != pool {
+		t.Fatal("InstallCompacted must keep the buffer pool")
+	}
+	if _, err := e.MuStats(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().MuMisses; got != missesBefore {
+		t.Fatalf("μ-cache lost across compaction: misses %d -> %d", missesBefore, got)
+	}
+
+	// The stream keeps flowing on the compacted storage.
+	next2, rep2 := mustOverlay(t, c, []graph.Edit{{Op: graph.EditAdd, U: 9, V: 13}})
+	if _, err := e.StreamSwap(next2, rep2.Pairs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ExactBCOf(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := brandes.BCOfVertexExact(next2, 10)
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("post-compaction ExactBCOf = %v, want %v", got, want)
+	}
+}

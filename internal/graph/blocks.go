@@ -241,3 +241,130 @@ func AffectedByEdits(g *Graph, pairs [][2]int) []bool {
 	}
 	return affected
 }
+
+// AffectedTracker amortizes AffectedByEdits across a stream of edit
+// batches: instead of an O(n+m) block decomposition per batch, it keeps
+// the forest of an earlier version plus the cumulative dirty set (the
+// union of every affected set reported since that forest was built) and
+// answers from them in O(batch · tree-path + dirty).
+//
+// Soundness rests on two facts about block-cut trees under edits whose
+// affected regions lie inside dirty:
+//
+//  1. An edit only restructures tree nodes inside its own affected
+//     region — additions contract the endpoint path's blocks, removals
+//     split the endpoints' block — so a u–v tree path that avoids dirty
+//     entirely is the exact current path (contractions and splits of
+//     nodes off a tree path leave the unique path untouched, in both
+//     directions of the edit).
+//  2. When the stale path does intersect dirty, the current path is
+//     still confined to stalePath ∪ dirty: per edit, the post path is
+//     the pre path with segments replaced inside the edit's affected
+//     region (which dirty contains), so deviations accumulate only
+//     inside dirty.
+//
+// Hence: stale-path marks alone when they avoid dirty, stale-path ∪
+// dirty otherwise — always a sound overapproximation of
+// AffectedByEdits. The forest is rebuilt (and dirty cleared) once the
+// dirty set covers enough of the graph that the fallback stops being
+// informative. Not safe for concurrent use; the serving layer calls it
+// under its swap lock.
+type AffectedTracker struct {
+	bf     *BlockForest
+	parent []int
+	dirty  []bool
+	nDirty int
+	// sinceRebuild counts Affected calls since the forest was last
+	// (re)built; rebuilds wait for trackerRebuildEvery of them so their
+	// O(n+m) cost amortizes. On graphs that are essentially one
+	// biconnected block (where every edit dirties everything and a fresh
+	// forest would answer "everything" anyway) this is what keeps the
+	// tracker O(batch) per call instead of O(n+m).
+	sinceRebuild int
+}
+
+// trackerRebuildEvery is the minimum number of Affected calls between
+// two forest rebuilds: a rebuild may fire at most every K-th batch, so
+// its O(n+m) cost adds O((n+m)/K) per batch.
+const trackerRebuildEvery = 64
+
+// NewAffectedTracker builds a tracker seeded with g's block forest.
+func NewAffectedTracker(g *Graph) *AffectedTracker {
+	bf := Blocks(g)
+	return &AffectedTracker{
+		bf:     bf,
+		parent: make([]int, len(bf.tree)),
+		dirty:  make([]bool, g.N()),
+	}
+}
+
+// Affected returns the affected vertex set of an edit batch with the
+// given endpoint pairs, g being the post-batch graph: a sound (possibly
+// coarser) overapproximation of AffectedByEdits(g, pairs). Nil or empty
+// pairs mark everything, like AffectedByEdits.
+func (t *AffectedTracker) Affected(g *Graph, pairs [][2]int) []bool {
+	n := len(t.dirty)
+	affected := make([]bool, n)
+	if len(pairs) == 0 {
+		for i := range affected {
+			affected[i] = true
+			t.dirty[i] = true
+		}
+		t.nDirty = n
+		return affected
+	}
+	t.sinceRebuild++
+	if t.nDirty*4 > n && t.sinceRebuild >= trackerRebuildEvery {
+		// The fallback union would mark over a quarter of the graph:
+		// re-anchor on the current version and start a clean ledger. The
+		// interval gate amortizes the O(n+m) rebuild; answers from the
+		// stale forest stay sound in the meantime (see above).
+		t.bf = Blocks(g)
+		if len(t.parent) < len(t.bf.tree) {
+			t.parent = make([]int, len(t.bf.tree))
+		}
+		clear(t.dirty)
+		t.nDirty = 0
+		t.sinceRebuild = 0
+	}
+	for _, p := range pairs {
+		t.bf.markPath(p[0], p[1], affected, t.parent[:len(t.bf.tree)])
+	}
+	hitDirty := false
+	for v := 0; v < n && !hitDirty; v++ {
+		hitDirty = affected[v] && t.dirty[v]
+	}
+	if hitDirty {
+		for v, d := range t.dirty {
+			if d {
+				affected[v] = true
+			}
+		}
+	}
+	for v, a := range affected {
+		if a && !t.dirty[v] {
+			t.dirty[v] = true
+			t.nDirty++
+		}
+	}
+	return affected
+}
+
+// Absorb folds an externally computed affected set (e.g. from a full
+// AffectedByEdits on a non-stream mutation path) into the dirty ledger
+// so later stale-forest answers stay sound. Nil marks everything.
+func (t *AffectedTracker) Absorb(affected []bool) {
+	if affected == nil {
+		for i := range t.dirty {
+			t.dirty[i] = true
+		}
+		t.nDirty = len(t.dirty)
+		return
+	}
+	for v, a := range affected {
+		if a && !t.dirty[v] {
+			t.dirty[v] = true
+			t.nDirty++
+		}
+	}
+}

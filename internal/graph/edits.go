@@ -92,6 +92,108 @@ type halfEdit struct {
 	add      bool
 }
 
+// editGroups is a validated, grouped edit batch, shared between
+// ApplyEdits (full CSR rebuild) and ApplyEditsOverlay (delta overlay):
+// halves sorted by (from, to) so each vertex's delta is one sorted
+// run, pairs in input order (u < v), changed the sorted distinct
+// endpoints, and the add/remove totals.
+type editGroups struct {
+	halves         []halfEdit
+	pairs          [][2]int
+	changed        []int
+	added, removed int
+}
+
+// groupEdits validates an edit batch against g (endpoint range,
+// self-loops, one-edit-per-pair, weight class) and groups it for the
+// per-vertex merges. Edge-existence violations are not checked here —
+// both appliers detect them during their merge, with identical errors.
+func groupEdits(g *Graph, edits []Edit) (*editGroups, error) {
+	n := g.N()
+	weighted := g.Weighted()
+	halves := make([]halfEdit, 0, 2*len(edits))
+	pairs := make([][2]int, 0, len(edits))
+	added, removed := 0, 0
+	for i, e := range edits {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("graph: edit %d: edge (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, &EditError{U: e.U, V: e.V, Reason: "self-loop rejected"}
+		}
+		w := e.W
+		switch e.Op {
+		case EditAdd:
+			if w == 0 {
+				w = 1
+			}
+			if w < 0 {
+				return nil, &EditError{U: e.U, V: e.V, Reason: fmt.Sprintf("negative weight %v", e.W)}
+			}
+			if !weighted && w != 1 {
+				return nil, &EditError{U: e.U, V: e.V, Reason: fmt.Sprintf("weighted edge (w=%v) on an unweighted graph", e.W)}
+			}
+			added++
+		case EditRemove:
+			removed++
+		default:
+			return nil, fmt.Errorf("graph: edit %d: unknown op %d", i, int(e.Op))
+		}
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		pairs = append(pairs, [2]int{u, v})
+		halves = append(halves,
+			halfEdit{from: u, to: v, w: w, add: e.Op == EditAdd},
+			halfEdit{from: v, to: u, w: w, add: e.Op == EditAdd})
+	}
+
+	// One edit per pair: sort the normalized pairs and scan for
+	// duplicates.
+	sortedPairs := append([][2]int(nil), pairs...)
+	sort.Slice(sortedPairs, func(i, j int) bool {
+		if sortedPairs[i][0] != sortedPairs[j][0] {
+			return sortedPairs[i][0] < sortedPairs[j][0]
+		}
+		return sortedPairs[i][1] < sortedPairs[j][1]
+	})
+	for i := 1; i < len(sortedPairs); i++ {
+		if sortedPairs[i] == sortedPairs[i-1] {
+			return nil, &EditError{U: sortedPairs[i][0], V: sortedPairs[i][1], Reason: "more than one edit for this edge"}
+		}
+	}
+
+	// Group halves by (from, to) so each vertex's delta is a sorted run.
+	sort.Slice(halves, func(i, j int) bool {
+		if halves[i].from != halves[j].from {
+			return halves[i].from < halves[j].from
+		}
+		return halves[i].to < halves[j].to
+	})
+
+	// Changed-vertex set: the distinct endpoints, from the sorted pairs.
+	changed := make([]int, 0, 2*len(edits))
+	for _, p := range sortedPairs {
+		changed = append(changed, p[0], p[1])
+	}
+	sort.Ints(changed)
+	uniq := changed[:0]
+	for i, v := range changed {
+		if i == 0 || v != changed[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+
+	return &editGroups{
+		halves:  halves,
+		pairs:   pairs,
+		changed: uniq,
+		added:   added,
+		removed: removed,
+	}, nil
+}
+
 // ApplyEdits applies a batch of edge edits to an undirected graph and
 // returns the resulting graph (a fresh CSR, Version()+1) plus a report
 // of what changed. The input graph is not modified.
@@ -127,98 +229,41 @@ func ApplyEdits(g *Graph, edits []Edit) (*Graph, *EditReport, error) {
 	n := g.N()
 	weighted := g.Weighted()
 
-	// Validate endpoints/weights and expand each edit into its two
-	// directed halves.
-	halves := make([]halfEdit, 0, 2*len(edits))
-	pairs := make([][2]int, 0, len(edits))
-	added, removed := 0, 0
-	for i, e := range edits {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
-			return nil, nil, fmt.Errorf("graph: edit %d: edge (%d,%d) out of range [0,%d)", i, e.U, e.V, n)
-		}
-		if e.U == e.V {
-			return nil, nil, &EditError{U: e.U, V: e.V, Reason: "self-loop rejected"}
-		}
-		w := e.W
-		switch e.Op {
-		case EditAdd:
-			if w == 0 {
-				w = 1
-			}
-			if w < 0 {
-				return nil, nil, &EditError{U: e.U, V: e.V, Reason: fmt.Sprintf("negative weight %v", e.W)}
-			}
-			if !weighted && w != 1 {
-				return nil, nil, &EditError{U: e.U, V: e.V, Reason: fmt.Sprintf("weighted edge (w=%v) on an unweighted graph", e.W)}
-			}
-			added++
-		case EditRemove:
-			removed++
-		default:
-			return nil, nil, fmt.Errorf("graph: edit %d: unknown op %d", i, int(e.Op))
-		}
-		u, v := e.U, e.V
-		if u > v {
-			u, v = v, u
-		}
-		pairs = append(pairs, [2]int{u, v})
-		halves = append(halves,
-			halfEdit{from: u, to: v, w: w, add: e.Op == EditAdd},
-			halfEdit{from: v, to: u, w: w, add: e.Op == EditAdd})
+	gr, err := groupEdits(g, edits)
+	if err != nil {
+		return nil, nil, err
 	}
-
-	// One edit per pair: sort the normalized pairs and scan for
-	// duplicates.
-	sortedPairs := append([][2]int(nil), pairs...)
-	sort.Slice(sortedPairs, func(i, j int) bool {
-		if sortedPairs[i][0] != sortedPairs[j][0] {
-			return sortedPairs[i][0] < sortedPairs[j][0]
-		}
-		return sortedPairs[i][1] < sortedPairs[j][1]
-	})
-	for i := 1; i < len(sortedPairs); i++ {
-		if sortedPairs[i] == sortedPairs[i-1] {
-			return nil, nil, &EditError{U: sortedPairs[i][0], V: sortedPairs[i][1], Reason: "more than one edit for this edge"}
-		}
-	}
-
-	// Group halves by (from, to) so each vertex's delta is a sorted run.
-	sort.Slice(halves, func(i, j int) bool {
-		if halves[i].from != halves[j].from {
-			return halves[i].from < halves[j].from
-		}
-		return halves[i].to < halves[j].to
-	})
 
 	// Linear merge: new offsets from per-vertex delta counts, then per
 	// vertex either a wholesale copy or a two-pointer merge against the
-	// delta run.
-	newAdj := make([]int, 0, len(g.adj)+2*(added-removed))
+	// delta run. Reads go through the accessors so an overlay input
+	// (ApplyEditsOverlay product) merges its current lists, not the
+	// stale base runs.
+	newAdj := make([]int, 0, len(g.adj)+2*(gr.added-gr.removed))
 	var newWeights []float64
 	if weighted {
 		newWeights = make([]float64, 0, cap(newAdj))
 	}
 	newOffsets := make([]int, n+1)
-	hi := 0 // cursor into halves
+	hi := 0 // cursor into gr.halves
 	for v := 0; v < n; v++ {
 		newOffsets[v] = len(newAdj)
-		lo, hiOld := g.offsets[v], g.offsets[v+1]
-		if hi >= len(halves) || halves[hi].from != v {
+		old := g.Neighbors(v)
+		var oldW []float64
+		if weighted {
+			oldW = g.NeighborWeights(v)
+		}
+		if hi >= len(gr.halves) || gr.halves[hi].from != v {
 			// Untouched vertex: copy the old run verbatim.
-			newAdj = append(newAdj, g.adj[lo:hiOld]...)
+			newAdj = append(newAdj, old...)
 			if weighted {
-				newWeights = append(newWeights, g.weights[lo:hiOld]...)
+				newWeights = append(newWeights, oldW...)
 			}
 			continue
 		}
-		old := g.adj[lo:hiOld]
-		var oldW []float64
-		if weighted {
-			oldW = g.weights[lo:hiOld]
-		}
 		oi := 0
-		for hi < len(halves) && halves[hi].from == v {
-			h := halves[hi]
+		for hi < len(gr.halves) && gr.halves[hi].from == v {
+			h := gr.halves[hi]
 			// Emit old neighbors below the delta target.
 			for oi < len(old) && old[oi] < h.to {
 				newAdj = append(newAdj, old[oi])
@@ -252,30 +297,17 @@ func ApplyEdits(g *Graph, edits []Edit) (*Graph, *EditReport, error) {
 	}
 	newOffsets[n] = len(newAdj)
 
-	// Changed-vertex set: the distinct endpoints, from the sorted pairs.
-	changed := make([]int, 0, 2*len(edits))
-	for _, p := range sortedPairs {
-		changed = append(changed, p[0], p[1])
-	}
-	sort.Ints(changed)
-	uniq := changed[:0]
-	for i, v := range changed {
-		if i == 0 || v != changed[i-1] {
-			uniq = append(uniq, v)
-		}
-	}
-
 	out := &Graph{
 		offsets: newOffsets,
 		adj:     newAdj,
 		weights: newWeights,
-		m:       g.m + added - removed,
+		m:       g.m + gr.added - gr.removed,
 		version: g.version + 1,
 	}
 	return out, &EditReport{
-		Added:   added,
-		Removed: removed,
-		Changed: uniq,
-		Pairs:   pairs,
+		Added:   gr.added,
+		Removed: gr.removed,
+		Changed: gr.changed,
+		Pairs:   gr.pairs,
 	}, nil
 }

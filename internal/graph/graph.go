@@ -11,6 +11,23 @@
 // merged) and the analyses in this package let callers extract the
 // largest connected component when a generator or input file is not
 // connected.
+//
+// Mutation comes in two costs. ApplyEdits builds a fresh CSR one
+// version ahead by a linear O(n+m) merge — the right trade for
+// occasional batches. ApplyEditsOverlay absorbs a batch in O(batch)
+// as a delta overlay: replacement adjacency lists for the touched
+// vertices over the shared, unmoved base CSR, so Neighbors and the
+// traversal kernels see the mutated graph without a rebuild. An
+// overlaid graph answers every accessor identically to its compacted
+// form (Compact folds the overlay into a flat CSR preserving version
+// and adjacency order, so traversals are bit-identical), and
+// ShouldCompactOverlay says when a lineage has outgrown the overlay
+// representation; RebaseCompacted re-anchors batches that landed
+// while a background fold ran. AffectedByEdits and the amortized
+// AffectedTracker bound which vertices an edit batch can have
+// affected (by the biconnected-block factorization of shortest
+// paths), which is what lets caches and warm chains survive
+// mutations.
 package graph
 
 import (
@@ -27,7 +44,8 @@ type Graph struct {
 	weights  []float64 // parallel to adj; nil for unweighted graphs
 	m        int       // number of edges (undirected edges counted once)
 	directed bool
-	version  uint64 // mutation stamp: 0 from a Builder, +1 per ApplyEdits
+	version  uint64   // mutation stamp: 0 from a Builder, +1 per ApplyEdits
+	ov       *overlay // delta overlay over the base CSR; nil for clean graphs
 }
 
 // N returns the number of vertices.
@@ -44,11 +62,23 @@ func (g *Graph) Directed() bool { return g.directed }
 func (g *Graph) Weighted() bool { return g.weights != nil }
 
 // Degree returns the out-degree of v (degree, for undirected graphs).
-func (g *Graph) Degree(v int) int { return g.offsets[v+1] - g.offsets[v] }
+func (g *Graph) Degree(v int) int {
+	if g.ov != nil {
+		if i := g.ov.find(v); i >= 0 {
+			return len(g.ov.lists[i])
+		}
+	}
+	return g.offsets[v+1] - g.offsets[v]
+}
 
 // Neighbors returns the sorted adjacency list of v as a shared slice.
 // Callers must not modify it.
 func (g *Graph) Neighbors(v int) []int {
+	if g.ov != nil {
+		if i := g.ov.find(v); i >= 0 {
+			return g.ov.lists[i]
+		}
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
@@ -57,6 +87,11 @@ func (g *Graph) Neighbors(v int) []int {
 func (g *Graph) NeighborWeights(v int) []float64 {
 	if g.weights == nil {
 		return nil
+	}
+	if g.ov != nil {
+		if i := g.ov.find(v); i >= 0 {
+			return g.ov.wlists[i]
+		}
 	}
 	return g.weights[g.offsets[v]:g.offsets[v+1]]
 }
@@ -77,10 +112,10 @@ func (g *Graph) Weight(u, v int) (float64, bool) {
 	if i >= len(ns) || ns[i] != v {
 		return 0, false
 	}
-	if g.weights == nil {
-		return 1, true
+	if ws := g.NeighborWeights(u); ws != nil {
+		return ws[i], true
 	}
-	return g.weights[g.offsets[u]+i], true
+	return 1, true
 }
 
 // ForEachEdge invokes fn once per edge. For undirected graphs each edge

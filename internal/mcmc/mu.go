@@ -89,14 +89,14 @@ func MuExactPooledContext(ctx context.Context, g *graph.Graph, r int, pool *Buff
 		return MuStats{}, fmt.Errorf("mcmc: MuExact target %d out of range", r)
 	}
 	if pool != nil {
-		if ts := pool.targetSPD(r); ts != nil {
+		if ts := pool.targetSPD(g, r); ts != nil {
 			deps, err := brandes.DependencyVectorWithTargetContext(ctx, g, ts, 0)
 			if err != nil {
 				return MuStats{}, err
 			}
 			return MuFromDeps(deps), nil
 		}
-		if ts := pool.weightedTargetSPD(r); ts != nil {
+		if ts := pool.weightedTargetSPD(g, r); ts != nil {
 			deps, err := brandes.DependencyVectorWithWeightedTargetContext(ctx, g, ts, 0)
 			if err != nil {
 				return MuStats{}, err

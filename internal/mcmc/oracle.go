@@ -16,6 +16,7 @@ package mcmc
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bcmh/internal/brandes"
 	"bcmh/internal/graph"
@@ -89,11 +90,21 @@ type Oracle struct {
 	dij   *sssp.Dijkstra
 	wtspd *sssp.WeightedTargetSPD
 
-	// Dense memo: memoVal[v] is valid iff memoStamp[v] == memoEpoch.
-	// A nil memoStamp disables memoisation (ablation T8d).
+	// Dense memo: memoVal[v] is valid iff memoStamp[v] == memoEpoch —
+	// and, when the memo was carried across graph versions, iff v's
+	// block has not been affected since memoVersion (the lastAffected
+	// check below). A nil memoStamp disables memoisation (ablation T8d).
 	memoVal   []float64
 	memoStamp []uint32
 	memoEpoch uint32
+
+	// Carry-over validity: entries older than this oracle were computed
+	// at graph version memoVersion; lastAffected (shared with the pool,
+	// read atomically — swaps write it concurrently) tells whether a
+	// vertex's block was edited after that. Nil lastAffected means the
+	// memo never crosses versions and the stamp alone decides.
+	memoVersion  uint64
+	lastAffected []uint64
 
 	// Evals counts dependency evaluations performed (memo misses); Hits
 	// counts memo hits. Work accounting for experiments T7/T8d.
@@ -105,7 +116,7 @@ type Oracle struct {
 // evaluation route. When useCache is false every Dep call performs a
 // full evaluation (ablation T8d).
 func NewOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
-	return newOracleBuffered(g, target, useCache, newChainBuffers(g), nil, nil)
+	return newOracleBuffered(g, target, useCache, newChainBuffers(g), nil, nil, nil)
 }
 
 // newOracleBuffered wires an Oracle around recycled chain buffers. The
@@ -113,7 +124,18 @@ func NewOracle(g *graph.Graph, target int, useCache bool) (*Oracle, error) {
 // invalidates every stale entry in O(1). A non-nil tspd/wtspd supplies
 // the target-side snapshot for the matching identity route (from the
 // BufferPool's shared cache); nil makes the oracle compute its own.
-func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers, tspd *sssp.TargetSPD, wtspd *sssp.WeightedTargetSPD) (*Oracle, error) {
+//
+// With a non-nil pool, the memo survives graph-version bumps when it is
+// provably still exact: the buffers last served the same target, at a
+// version at or before g's, and no swap since then affected the
+// target's block (pool.lastAffected). δ_v(r) depends only on the blocks
+// of the block-cut forest containing v and r — contributions from other
+// blocks factor through the cut vertices and cancel in the identity
+// formula — so entries at unaffected states stay valid; states whose
+// block *was* edited are rejected individually by Dep's lastAffected
+// check. Chains restarted on a new snapshot therefore keep their warm
+// memos instead of re-evaluating every revisited state from scratch.
+func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffers, tspd *sssp.TargetSPD, wtspd *sssp.WeightedTargetSPD, pool *BufferPool) (*Oracle, error) {
 	if target < 0 || target >= g.N() {
 		return nil, fmt.Errorf("mcmc: oracle target %d out of range", target)
 	}
@@ -140,7 +162,30 @@ func newOracleBuffered(g *graph.Graph, target int, useCache bool, b *chainBuffer
 	if useCache {
 		o.memoVal = b.memoVal
 		o.memoStamp = b.memoStamp
-		o.memoEpoch = b.nextMemoEpoch()
+		// Only a strictly newer snapshot triggers a carry: same-version
+		// reuse keeps the old bump-per-oracle behavior so Evals/Hits
+		// stay deterministic regardless of buffer recycling order.
+		crossVersion := pool != nil && b.memoTarget == target && b.memoVersion < g.Version()
+		if crossVersion && !pool.affectedAfter(target, b.memoVersion) {
+			// Carry: keep the epoch (existing entries stay stamped) and
+			// judge each entry per state against lastAffected in Dep.
+			// memoVersion must stay at the fill version — advancing it
+			// would blind the per-state check to edits in between.
+			o.memoEpoch = b.memoEpoch
+			o.memoVersion = b.memoVersion
+			o.lastAffected = pool.lastAffected
+			pool.carried.Add(1)
+		} else {
+			if crossVersion {
+				pool.discarded.Add(1)
+			}
+			// Fresh memo: every entry will be computed on g itself, so
+			// the stamp alone decides validity (lastAffected stays nil).
+			o.memoEpoch = b.nextMemoEpoch()
+			b.memoTarget = target
+			b.memoVersion = g.Version()
+			o.memoVersion = b.memoVersion
+		}
 	}
 	return o, nil
 }
@@ -167,7 +212,8 @@ func newReferenceOracle(g *graph.Graph, target int, useCache bool) (*Oracle, err
 
 // Dep returns δ_v•(target).
 func (o *Oracle) Dep(v int) float64 {
-	if o.memoStamp != nil && o.memoStamp[v] == o.memoEpoch {
+	if o.memoStamp != nil && o.memoStamp[v] == o.memoEpoch &&
+		(o.lastAffected == nil || atomic.LoadUint64(&o.lastAffected[v]) <= o.memoVersion) {
 		o.Hits++
 		return o.memoVal[v]
 	}
@@ -338,3 +384,59 @@ func (o *SetOracle) Deps(v int) []float64 {
 
 // Targets returns the oracle's target set (not a copy; do not modify).
 func (o *SetOracle) Targets() []int { return o.targets }
+
+// CarryTo moves the oracle to next — another snapshot of the same
+// undirected lineage — reseating its traversal kernel (O(overlay) for
+// overlay siblings, full rebuild otherwise) and recomputing the
+// per-target snapshots. affected is the vertex set of the blocks the
+// intervening edits touched (nil = treat everything as affected).
+//
+// The memo survives when no target lies in an affected block: rows at
+// affected states are invalidated individually and the rest stay valid
+// — δ_v(r) only depends on the blocks between v and r, so entries with
+// both endpoints outside the affected region are unchanged. If any
+// target is affected the whole memo is dropped (one epoch bump).
+func (o *SetOracle) CarryTo(next *graph.Graph, affected []bool) {
+	switch {
+	case o.bfs != nil:
+		o.bfs.Reseat(next)
+	case o.dij != nil:
+		o.dij.Reseat(next)
+	default:
+		o.c = sssp.NewComputer(next)
+	}
+	o.g = next
+	switch {
+	case o.bfs != nil:
+		o.tspds = o.tspds[:0]
+		for _, r := range o.targets {
+			o.tspds = append(o.tspds, sssp.NewTargetSPD(o.bfs, r))
+		}
+	case o.dij != nil:
+		o.wtspds = o.wtspds[:0]
+		for _, r := range o.targets {
+			o.wtspds = append(o.wtspds, sssp.NewWeightedTargetSPD(o.dij, r))
+		}
+	}
+	if o.memoStamp == nil {
+		return
+	}
+	drop := affected == nil
+	for _, r := range o.targets {
+		if drop {
+			break
+		}
+		drop = affected[r]
+	}
+	if drop {
+		o.memoEpoch = bumpEpoch(o.memoStamp, o.memoEpoch)
+		return
+	}
+	// Stamp 0 is permanently invalid: epochs start at 1 and skip 0 on
+	// wrap, so zeroing a row's stamp retires it without an epoch bump.
+	for v, a := range affected {
+		if a {
+			o.memoStamp[v] = 0
+		}
+	}
+}

@@ -379,7 +379,7 @@ func TestEstimateBCPooledMatchesUnpooled(t *testing.T) {
 func TestDegreeProposalAliasCached(t *testing.T) {
 	g := graph.BarabasiAlbert(150, 2, rng.New(61))
 	pool := NewBufferPool(g)
-	if pool.degreeAlias() != pool.degreeAlias() {
+	if pool.degreeAlias(g) != pool.degreeAlias(g) {
 		t.Fatal("degree alias rebuilt on second use")
 	}
 	cfg := DefaultConfig(300)
@@ -421,48 +421,48 @@ func TestPooledOutOfRangeTargetErrors(t *testing.T) {
 func TestTargetSPDCacheLRU(t *testing.T) {
 	g := graph.BarabasiAlbert(260, 2, rng.New(67))
 	pool := NewBufferPool(g)
-	first := pool.targetSPD(0)
+	first := pool.targetSPD(g, 0)
 	if first == nil || first.Target != 0 {
 		t.Fatal("snapshot missing")
 	}
-	if pool.targetSPD(0) != first {
+	if pool.targetSPD(g, 0) != first {
 		t.Fatal("snapshot not cached")
 	}
 	// Touch more targets than the cache holds; entry 0 must be evicted
 	// and rebuilt (a different pointer), newer entries still cached.
 	for r := 1; r <= targetSPDCacheSize+10; r++ {
-		pool.targetSPD(r % g.N())
+		pool.targetSPD(g, r%g.N())
 	}
 	if pool.tspdLRU.Len() > targetSPDCacheSize {
 		t.Fatalf("cache grew to %d", pool.tspdLRU.Len())
 	}
-	if pool.targetSPD(0) == first {
+	if pool.targetSPD(g, 0) == first {
 		t.Fatal("evicted snapshot pointer resurrected")
 	}
 	// Each route serves only its own snapshot kind.
-	if pool.weightedTargetSPD(0) != nil {
+	if pool.weightedTargetSPD(g, 0) != nil {
 		t.Fatal("unweighted pool returned a weighted snapshot")
 	}
 	w := graph.WithUniformWeights(g, 1, 3, rng.New(68))
 	wpool := NewBufferPool(w)
-	if wpool.targetSPD(0) != nil {
+	if wpool.targetSPD(w, 0) != nil {
 		t.Fatal("weighted pool returned an unweighted snapshot")
 	}
-	wfirst := wpool.weightedTargetSPD(0)
+	wfirst := wpool.weightedTargetSPD(w, 0)
 	if wfirst == nil || wfirst.Target != 0 {
 		t.Fatal("weighted snapshot missing")
 	}
-	if wpool.weightedTargetSPD(0) != wfirst {
+	if wpool.weightedTargetSPD(w, 0) != wfirst {
 		t.Fatal("weighted snapshot not cached")
 	}
 	// Same LRU bound and eviction behaviour as the unweighted kind.
 	for r := 1; r <= targetSPDCacheSize+10; r++ {
-		wpool.weightedTargetSPD(r % w.N())
+		wpool.weightedTargetSPD(w, r%w.N())
 	}
 	if wpool.tspdLRU.Len() > targetSPDCacheSize {
 		t.Fatalf("weighted cache grew to %d", wpool.tspdLRU.Len())
 	}
-	if wpool.weightedTargetSPD(0) == wfirst {
+	if wpool.weightedTargetSPD(w, 0) == wfirst {
 		t.Fatal("evicted weighted snapshot pointer resurrected")
 	}
 }

@@ -69,8 +69,8 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 	var tspd *sssp.TargetSPD
 	var wtspd *sssp.WeightedTargetSPD
 	if pool != nil {
-		tspd = pool.targetSPD(r)
-		wtspd = pool.weightedTargetSPD(r)
+		tspd = pool.targetSPD(g, r)
+		wtspd = pool.weightedTargetSPD(g, r)
 	} else {
 		switch routeFor(g) {
 		case routeBFSIdentity:
@@ -82,7 +82,7 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 	var degAlias *rng.Alias
 	if cfg.DegreeProposal {
 		if pool != nil {
-			degAlias = pool.degreeAlias()
+			degAlias = pool.degreeAlias(g)
 		} else {
 			degAlias = degreeAliasFor(g)
 		}
@@ -102,12 +102,12 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 			// work accounting honest.
 			var b *chainBuffers
 			if pool != nil {
-				b = pool.get()
+				b = pool.get(g)
 				defer pool.put(b)
 			} else {
 				b = newChainBuffers(g)
 			}
-			oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd, wtspd)
+			oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd, wtspd, pool)
 			if err != nil {
 				errs[i] = err
 				return

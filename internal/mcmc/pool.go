@@ -3,6 +3,7 @@ package mcmc
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
@@ -15,6 +16,13 @@ import (
 // 128·12 bytes per vertex.
 const targetSPDCacheSize = 128
 
+// aliasCacheSize bounds the per-version degree-proposal alias cache. A
+// pool normally serves at most two versions at once (the current one
+// plus stragglers on the previous snapshot), so a handful of entries
+// is plenty; past the bound the cache is dropped wholesale rather than
+// tracking LRU order for something this cheap to rebuild.
+const aliasCacheSize = 8
+
 // chainBuffers is one chain's worth of reusable state. Which traversal
 // kernel it carries depends on the graph (see routeFor): unweighted
 // undirected graphs get the specialized BFS kernel the identity oracle
@@ -23,7 +31,14 @@ const targetSPDCacheSize = 128
 // accumulation scratch. The memo and visited arrays are dense and
 // epoch-stamped, so reuse across targets costs a counter bump instead
 // of a map clear (or an O(n) zeroing).
+//
+// A buffer set remembers which graph its kernels are seated on (g).
+// When the pool hands it to a chain running on a different snapshot of
+// the same lineage, the kernels are reseated in O(overlay) instead of
+// rebuilt (sssp.BFS.Reseat) — the mutation fast path's per-chain cost.
 type chainBuffers struct {
+	g *graph.Graph // the snapshot the kernels are currently seated on
+
 	c     *sssp.Computer // Brandes route (directed graphs)
 	delta []float64      // Brandes accumulation scratch
 	bfs   *sssp.BFS      // BFS identity route (unweighted undirected)
@@ -34,6 +49,14 @@ type chainBuffers struct {
 	memoStamp []uint32
 	memoEpoch uint32
 
+	// Memo carry-over provenance: the target the memo was filled for
+	// (-1: none) and the graph version its entries are valid from.
+	// newOracleBuffered keeps the memo alive across version bumps when
+	// the target's block was not affected in between (see the carry
+	// rules there); otherwise the epoch bump discards it as before.
+	memoTarget  int
+	memoVersion uint64
+
 	// Visited-state tracking for UniqueStates, same stamping scheme.
 	visStamp []uint32
 	visEpoch uint32
@@ -42,9 +65,11 @@ type chainBuffers struct {
 func newChainBuffers(g *graph.Graph) *chainBuffers {
 	n := g.N()
 	b := &chainBuffers{
-		memoVal:   make([]float64, n),
-		memoStamp: make([]uint32, n),
-		visStamp:  make([]uint32, n),
+		g:          g,
+		memoVal:    make([]float64, n),
+		memoStamp:  make([]uint32, n),
+		visStamp:   make([]uint32, n),
+		memoTarget: -1,
 	}
 	switch routeFor(g) {
 	case routeBFSIdentity:
@@ -93,60 +118,144 @@ type tspdEntry struct {
 	wspd *sssp.WeightedTargetSPD
 }
 
+// tspdKey addresses one target snapshot of one graph version. Target
+// snapshots are not invariant across versions even for targets outside
+// the affected blocks (distances into an edited block change), so they
+// are never carried: each version recomputes its own and old versions'
+// entries keep serving in-flight estimates until they age out of the
+// LRU.
+type tspdKey struct {
+	version uint64
+	target  int
+}
+
 // BufferPool recycles chain buffers across estimation calls on one
-// graph and owns the per-graph caches every chain on that graph wants
-// to share: the target-side shortest-path snapshots the identity oracle
-// reads (one per distinct chain target, LRU-bounded) and the
-// degree-proposal alias table (built once, on first use). Safe for
-// concurrent use; every buffer set it hands out is private to one chain
-// until returned.
+// graph lineage and owns the caches every chain wants to share: the
+// target-side shortest-path snapshots the identity oracle reads (one
+// per distinct (version, target), LRU-bounded) and the
+// degree-proposal alias tables (one per version in flight). Since the
+// streaming fast path, one pool serves *all* snapshots of its lineage
+// — methods take the snapshot being served, buffers reseat their
+// kernels to it on checkout, and caches are keyed by version — so a
+// mutation no longer rebuilds the pool. Safe for concurrent use; every
+// buffer set it hands out is private to one chain until returned.
 type BufferPool struct {
-	g    *graph.Graph
+	g    *graph.Graph // creation-time snapshot (sizing; N is fixed per lineage)
 	pool sync.Pool
 
-	aliasOnce sync.Once
-	degAlias  *rng.Alias
+	aliasMtx sync.Mutex
+	aliases  map[uint64]*rng.Alias // degree alias per graph version
 
 	tspdMtx   sync.Mutex
-	tspdByKey map[int]*list.Element // values are *list.Element of tspdLRU
-	tspdLRU   *list.List            // front = most recently used; values *tspdNode
+	tspdByKey map[tspdKey]*list.Element // values are *list.Element of tspdLRU
+	tspdLRU   *list.List                // front = most recently used; values *tspdNode
+
+	// lastAffected[v] is the version of the latest Advance whose
+	// affected set contained v (0: never affected). Written by Advance
+	// under the engine's swap lock, read atomically on the memo-carry
+	// hot path, so chains running concurrently with a swap see either
+	// bound — both safe: the check is conservative.
+	lastAffected []uint64
+
+	// carried counts memos continued across a version bump; discarded
+	// counts memos a chain wanted to carry but had to drop because the
+	// target's block was affected. Both are test/stats hooks proving
+	// the carry-over actually happens.
+	carried   atomic.Uint64
+	discarded atomic.Uint64
 }
 
 type tspdNode struct {
-	target int
-	ent    *tspdEntry
+	key tspdKey
+	ent *tspdEntry
 }
 
-// NewBufferPool returns a pool of chain buffers for g. Buffers are
-// sized to g at creation; do not share a pool across graphs.
+// NewBufferPool returns a pool of chain buffers for g's lineage.
+// Buffers are sized to g at creation; do not share a pool across
+// unrelated graphs (snapshots of one mutation lineage are exactly what
+// it is for).
 func NewBufferPool(g *graph.Graph) *BufferPool {
 	p := &BufferPool{
-		g:         g,
-		tspdByKey: make(map[int]*list.Element, targetSPDCacheSize),
-		tspdLRU:   list.New(),
+		g:            g,
+		aliases:      make(map[uint64]*rng.Alias, aliasCacheSize),
+		tspdByKey:    make(map[tspdKey]*list.Element, targetSPDCacheSize),
+		tspdLRU:      list.New(),
+		lastAffected: make([]uint64, g.N()),
 	}
-	p.pool.New = func() any { return newChainBuffers(g) }
 	return p
 }
 
-func (p *BufferPool) get() *chainBuffers  { return p.pool.Get().(*chainBuffers) }
+// Advance records a swap to next whose affected-block vertex set is
+// affected (nil = everything affected): chains that later check out
+// buffers judge their memos against these marks. Call under the same
+// lock that serializes swaps so versions advance monotonically.
+func (p *BufferPool) Advance(next *graph.Graph, affected []bool) {
+	v := next.Version()
+	if affected == nil {
+		for i := range p.lastAffected {
+			atomic.StoreUint64(&p.lastAffected[i], v)
+		}
+		return
+	}
+	for i, a := range affected {
+		if a {
+			atomic.StoreUint64(&p.lastAffected[i], v)
+		}
+	}
+}
+
+// affectedAfter reports whether v's block was affected by any swap
+// installed after version.
+func (p *BufferPool) affectedAfter(v int, version uint64) bool {
+	return atomic.LoadUint64(&p.lastAffected[v]) > version
+}
+
+// CarryStats returns how many chain memos were carried across version
+// bumps and how many were discarded because the target's block was
+// affected.
+func (p *BufferPool) CarryStats() (carried, discarded uint64) {
+	return p.carried.Load(), p.discarded.Load()
+}
+
+// get checks out a buffer set seated on g, reseating or rebuilding the
+// kernels of a recycled set that last served another snapshot.
+func (p *BufferPool) get(g *graph.Graph) *chainBuffers {
+	b, _ := p.pool.Get().(*chainBuffers)
+	switch {
+	case b == nil:
+		return newChainBuffers(g)
+	case b.g == g:
+		return b
+	case b.bfs != nil:
+		b.bfs.Reseat(g)
+	case b.dij != nil:
+		b.dij.Reseat(g)
+	default:
+		// Brandes route (directed): no edit path exists, so a snapshot
+		// change cannot happen — but handle it by rebuilding.
+		return newChainBuffers(g)
+	}
+	b.g = g
+	return b
+}
+
 func (p *BufferPool) put(b *chainBuffers) { p.pool.Put(b) }
 
-// tspdLookup returns the LRU entry for target, inserting (and evicting
+// tspdLookup returns the LRU entry for key, inserting (and evicting
 // the oldest beyond capacity) under the pool lock. Snapshot builds run
 // outside the lock, deduplicated by the entry's once.
-func (p *BufferPool) tspdLookup(target int) *tspdEntry {
+func (p *BufferPool) tspdLookup(key tspdKey) *tspdEntry {
 	p.tspdMtx.Lock()
-	el, ok := p.tspdByKey[target]
+	el, ok := p.tspdByKey[key]
 	if ok {
 		p.tspdLRU.MoveToFront(el)
 	} else {
-		el = p.tspdLRU.PushFront(&tspdNode{target: target, ent: &tspdEntry{}})
-		p.tspdByKey[target] = el
+		el = p.tspdLRU.PushFront(&tspdNode{key: key, ent: &tspdEntry{}})
+		p.tspdByKey[key] = el
 		for p.tspdLRU.Len() > targetSPDCacheSize {
 			oldest := p.tspdLRU.Back()
 			p.tspdLRU.Remove(oldest)
-			delete(p.tspdByKey, oldest.Value.(*tspdNode).target)
+			delete(p.tspdByKey, oldest.Value.(*tspdNode).key)
 		}
 	}
 	ent := el.Value.(*tspdNode).ent
@@ -154,18 +263,18 @@ func (p *BufferPool) tspdLookup(target int) *tspdEntry {
 	return ent
 }
 
-// targetSPD returns the cached target-side snapshot for target, building
-// it on first request (concurrent first requests share one build). It
-// returns nil unless the graph takes the BFS identity route (weighted
-// undirected graphs have their own snapshot kind, see
+// targetSPD returns the cached target-side snapshot of g for target,
+// building it on first request (concurrent first requests share one
+// build). It returns nil unless the graph takes the BFS identity route
+// (weighted undirected graphs have their own snapshot kind, see
 // weightedTargetSPD; directed graphs have no identity fast path).
-func (p *BufferPool) targetSPD(target int) *sssp.TargetSPD {
-	if routeFor(p.g) != routeBFSIdentity {
+func (p *BufferPool) targetSPD(g *graph.Graph, target int) *sssp.TargetSPD {
+	if routeFor(g) != routeBFSIdentity {
 		return nil
 	}
-	ent := p.tspdLookup(target)
+	ent := p.tspdLookup(tspdKey{version: g.Version(), target: target})
 	ent.once.Do(func() {
-		ent.spd = sssp.NewTargetSPD(sssp.NewBFS(p.g), target)
+		ent.spd = sssp.NewTargetSPD(sssp.NewBFS(g), target)
 	})
 	return ent.spd
 }
@@ -174,26 +283,32 @@ func (p *BufferPool) targetSPD(target int) *sssp.TargetSPD {
 // on the Dijkstra identity route. Both snapshot kinds share one LRU (a
 // graph is either weighted or not, so in practice every entry is the
 // same kind).
-func (p *BufferPool) weightedTargetSPD(target int) *sssp.WeightedTargetSPD {
-	if routeFor(p.g) != routeDijkstraIdentity {
+func (p *BufferPool) weightedTargetSPD(g *graph.Graph, target int) *sssp.WeightedTargetSPD {
+	if routeFor(g) != routeDijkstraIdentity {
 		return nil
 	}
-	ent := p.tspdLookup(target)
+	ent := p.tspdLookup(tspdKey{version: g.Version(), target: target})
 	ent.once.Do(func() {
-		ent.wspd = sssp.NewWeightedTargetSPD(sssp.NewDijkstra(p.g), target)
+		ent.wspd = sssp.NewWeightedTargetSPD(sssp.NewDijkstra(g), target)
 	})
 	return ent.wspd
 }
 
-// degreeAlias returns the degree-proposal alias table for the pool's
-// graph, built once per pool lifetime. Before this cache the table was
-// rebuilt from the full degree sequence on every DegreeProposal chain
-// run.
-func (p *BufferPool) degreeAlias() *rng.Alias {
-	p.aliasOnce.Do(func() {
-		p.degAlias = degreeAliasFor(p.g)
-	})
-	return p.degAlias
+// degreeAlias returns the degree-proposal alias table for the snapshot
+// g, built once per version. Before this cache the table was rebuilt
+// from the full degree sequence on every DegreeProposal chain run.
+func (p *BufferPool) degreeAlias(g *graph.Graph) *rng.Alias {
+	p.aliasMtx.Lock()
+	defer p.aliasMtx.Unlock()
+	if a, ok := p.aliases[g.Version()]; ok {
+		return a
+	}
+	if len(p.aliases) >= aliasCacheSize {
+		clear(p.aliases)
+	}
+	a := degreeAliasFor(g)
+	p.aliases[g.Version()] = a
+	return a
 }
 
 // degreeAliasFor builds the degree-proportional proposal table for g.

@@ -214,21 +214,21 @@ func EstimateBCPooledContext(ctx context.Context, g *graph.Graph, r int, cfg Con
 	var tspd *sssp.TargetSPD
 	var wtspd *sssp.WeightedTargetSPD
 	if pool != nil {
-		b = pool.get()
+		b = pool.get(g)
 		defer pool.put(b)
-		tspd = pool.targetSPD(r)
-		wtspd = pool.weightedTargetSPD(r)
+		tspd = pool.targetSPD(g, r)
+		wtspd = pool.weightedTargetSPD(g, r)
 	} else {
 		b = newChainBuffers(g)
 	}
-	oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd, wtspd)
+	oracle, err := newOracleBuffered(g, r, !cfg.DisableCache, b, tspd, wtspd, pool)
 	if err != nil {
 		return Result{}, err
 	}
 	var degAlias *rng.Alias
 	if cfg.DegreeProposal {
 		if pool != nil {
-			degAlias = pool.degreeAlias()
+			degAlias = pool.degreeAlias(g)
 		} else {
 			degAlias = degreeAliasFor(g)
 		}

@@ -17,6 +17,16 @@ import "bcmh/internal/graph"
 //     int32 CSR copy of the adjacency (half the memory traffic of the
 //     graph's []int lists, no per-vertex slice-header calls).
 //
+// The private CSR is laid out for cheap reseating across delta-overlay
+// versions (graph.ApplyEditsOverlay): per-vertex bounds live in one
+// interleaved array (adjacency of u is adj[bnd[2u]:bnd[2u+1]], the two
+// bounds on one cache line, same memory traffic as classic offsets),
+// the clean base CSR fills a fixed arena prefix, and overlay-replaced
+// vertices point into patch lists appended past it. Reseat moves the
+// kernel to another version of the same base in O(overlay) — reset the
+// patched bounds, truncate the arena, append the new overlay — instead
+// of the O(n+m) rebuild a new kernel costs.
+//
 // σ path counts remain float64: they grow combinatorially and would
 // overflow any fixed-width integer on graphs the samplers care about.
 //
@@ -26,9 +36,12 @@ import "bcmh/internal/graph"
 // the reached vertices) before reading them. Order aliases an internal
 // buffer invalidated by the next Run.
 type BFS struct {
-	g   *graph.Graph
-	off []int32
-	adj []int32
+	g       *graph.Graph
+	bnd     []int32 // len 2n; adjacency of u is adj[bnd[2u]:bnd[2u+1]]
+	adj     []int32 // arena: base CSR prefix, then overlay patch lists
+	baseOff []int32 // len n+1: clean base-CSR offsets, for Reseat resets
+	baseLen int     // clean prefix length of adj
+	patched []int32 // vertices whose bounds differ from the base offsets
 	// tag[v] = uint64(epoch)<<32 | uint64(uint32(dist)): the vertex was
 	// reached by the latest Run iff tag[v]>>32 == epoch.
 	tag   []uint64
@@ -47,24 +60,69 @@ func NewBFS(g *graph.Graph) *BFS {
 	}
 	n := g.N()
 	b := &BFS{
-		g:     g,
-		off:   make([]int32, n+1),
-		tag:   make([]uint64, n),
-		sigma: make([]float64, n),
-		queue: make([]int32, 0, n),
+		bnd:     make([]int32, 2*n),
+		baseOff: make([]int32, n+1),
+		tag:     make([]uint64, n),
+		sigma:   make([]float64, n),
+		queue:   make([]int32, 0, n),
 	}
 	degSum := 0
 	for v := 0; v < n; v++ {
-		degSum += g.Degree(v)
+		degSum += len(g.BaseNeighbors(v))
 	}
 	b.adj = make([]int32, 0, degSum)
 	for v := 0; v < n; v++ {
-		for _, w := range g.Neighbors(v) {
+		b.bnd[2*v] = int32(len(b.adj))
+		for _, w := range g.BaseNeighbors(v) {
 			b.adj = append(b.adj, int32(w))
 		}
-		b.off[v+1] = int32(len(b.adj))
+		b.bnd[2*v+1] = int32(len(b.adj))
+		b.baseOff[v+1] = int32(len(b.adj))
 	}
+	b.baseLen = len(b.adj)
+	b.seat(g)
 	return b
+}
+
+// seat points the kernel at g's overlay: each replaced adjacency list
+// is appended to the arena past the clean prefix and the vertex's
+// bounds are redirected there. No-op for clean graphs.
+func (b *BFS) seat(g *graph.Graph) {
+	b.g = g
+	g.ForEachOverlay(func(v int, ns []int, _ []float64) {
+		b.bnd[2*v] = int32(len(b.adj))
+		for _, w := range ns {
+			b.adj = append(b.adj, int32(w))
+		}
+		b.bnd[2*v+1] = int32(len(b.adj))
+		b.patched = append(b.patched, int32(v))
+	})
+}
+
+// Reseat moves the kernel to g2, another snapshot of the same graph
+// lineage. When g2 shares its base CSR with the current seat (an
+// overlay sibling — graph.SameStorage), the move costs O(overlay of
+// either side): patched bounds are reset to the base offsets, the
+// arena is truncated, and g2's overlay is appended. Otherwise the
+// kernel is rebuilt from scratch. It reports whether the cheap
+// incremental path was taken. Traversal results after a Reseat are
+// bit-identical to a fresh NewBFS(g2).
+func (b *BFS) Reseat(g2 *graph.Graph) bool {
+	if g2 == b.g {
+		return true
+	}
+	if !graph.SameStorage(b.g, g2) {
+		*b = *NewBFS(g2)
+		return false
+	}
+	for _, v := range b.patched {
+		b.bnd[2*v] = b.baseOff[v]
+		b.bnd[2*v+1] = b.baseOff[v+1]
+	}
+	b.patched = b.patched[:0]
+	b.adj = b.adj[:b.baseLen]
+	b.seat(g2)
+	return true
 }
 
 // Graph returns the graph this kernel traverses.
@@ -82,7 +140,7 @@ func (b *BFS) Run(source int) {
 		b.epoch = 1
 	}
 	ep := uint64(b.epoch)
-	off, adj := b.off, b.adj
+	bnd, adj := b.bnd, b.adj
 	tag, sigma := b.tag, b.sigma
 	q := b.queue[:0]
 	tag[source] = ep << 32 // distance 0
@@ -94,7 +152,7 @@ func (b *BFS) Run(source int) {
 		// distance dist(u)+1.
 		next := tag[u] + 1
 		su := sigma[u]
-		for _, v := range adj[off[u]:off[u+1]] {
+		for _, v := range adj[bnd[2*u]:bnd[2*u+1]] {
 			t := tag[v]
 			switch {
 			case t>>32 != ep: // unreached this run

@@ -45,6 +45,16 @@ const dialMaxRatio = 64
 //     so the sift-down path (the hot operation under lazy deletion)
 //     touches fewer cache lines.
 //
+// Like the BFS kernel, the private CSR is laid out for cheap reseating
+// across delta-overlay versions: interleaved per-vertex bounds
+// (adjacency of u is adj[bnd[2u]:bnd[2u+1]]), a clean base arena
+// prefix, and overlay patch lists appended past it, with a parallel
+// weight arena. Reseat moves the kernel to an overlay sibling in
+// O(overlay); the queue classification is re-derived there from the
+// base weight statistics plus the new overlay's weights, so an overlay
+// edge whose weight breaks the bucket regime (non-integral, out of
+// ratio) safely demotes the kernel to the next route.
+//
 // An unweighted graph is accepted and treated as all-unit weights
 // (the bucket route degenerates to BFS, bit-identical to the BFS
 // kernel); route selection in internal/mcmc still prefers the BFS
@@ -63,10 +73,19 @@ const dialMaxRatio = 64
 // route) before reading them. Order aliases an internal buffer
 // invalidated by the next Run.
 type Dijkstra struct {
-	g   *graph.Graph
-	off []int32
-	adj []int32
-	wts []float64 // nil: unit weights (unweighted graph)
+	g       *graph.Graph
+	bnd     []int32   // len 2n; adjacency of u is adj[bnd[2u]:bnd[2u+1]]
+	adj     []int32   // arena: base CSR prefix, then overlay patch lists
+	wts     []float64 // parallel to adj; nil: unit weights (unweighted graph)
+	baseOff []int32   // len n+1: clean base-CSR offsets, for Reseat resets
+	baseLen int       // clean prefix length of adj/wts
+	patched []int32   // vertices whose bounds differ from the base offsets
+
+	// Base weight statistics, fixed at construction; the effective
+	// classification folds the current overlay's weights on top at
+	// every (re)seat.
+	baseIntegral       bool
+	baseMinW, baseMaxW float64
 
 	dist  []float64
 	sigma []float64
@@ -102,31 +121,70 @@ func NewDijkstra(g *graph.Graph) *Dijkstra {
 	}
 	n := g.N()
 	d := &Dijkstra{
-		g:     g,
-		off:   make([]int32, n+1),
-		dist:  make([]float64, n),
-		sigma: make([]float64, n),
-		tag:   make([]uint32, n),
-		done:  make([]uint32, n),
-		order: make([]int32, 0, n),
+		bnd:     make([]int32, 2*n),
+		baseOff: make([]int32, n+1),
+		dist:    make([]float64, n),
+		sigma:   make([]float64, n),
+		tag:     make([]uint32, n),
+		done:    make([]uint32, n),
+		order:   make([]int32, 0, n),
 	}
 	degSum := 0
 	for v := 0; v < n; v++ {
-		degSum += g.Degree(v)
+		degSum += len(g.BaseNeighbors(v))
 	}
 	d.adj = make([]int32, 0, degSum)
 	weighted := g.Weighted()
 	if weighted {
 		d.wts = make([]float64, 0, degSum)
 	}
-	integral := true
-	minW, maxW := math.Inf(1), 1.0
+	d.baseIntegral = true
+	d.baseMinW, d.baseMaxW = math.Inf(1), 1.0
 	for v := 0; v < n; v++ {
-		ns := g.Neighbors(v)
-		ws := g.NeighborWeights(v)
+		ns := g.BaseNeighbors(v)
+		ws := g.BaseNeighborWeights(v)
 		for i, w := range ns {
 			d.adj = append(d.adj, int32(w))
 			if weighted {
+				wt := ws[i]
+				d.wts = append(d.wts, wt)
+				d.foldBaseWeight(wt)
+			}
+		}
+		d.bnd[2*v] = d.baseOff[v]
+		d.bnd[2*v+1] = int32(len(d.adj))
+		d.baseOff[v+1] = int32(len(d.adj))
+	}
+	d.baseLen = len(d.adj)
+	d.seat(g)
+	return d
+}
+
+// foldBaseWeight folds one base-CSR weight into the fixed statistics.
+func (d *Dijkstra) foldBaseWeight(wt float64) {
+	if wt != math.Trunc(wt) || wt < 1 || wt > dialMaxWeight {
+		d.baseIntegral = false
+	}
+	if wt < d.baseMinW {
+		d.baseMinW = wt
+	}
+	if wt > d.baseMaxW {
+		d.baseMaxW = wt
+	}
+}
+
+// seat points the kernel at g's overlay (patch lists past the clean
+// arena prefix, as in BFS.seat) and re-derives the queue
+// classification from the base weight statistics extended by the
+// overlay's weights.
+func (d *Dijkstra) seat(g *graph.Graph) {
+	d.g = g
+	integral, minW, maxW := d.baseIntegral, d.baseMinW, d.baseMaxW
+	g.ForEachOverlay(func(v int, ns []int, ws []float64) {
+		d.bnd[2*v] = int32(len(d.adj))
+		for i, w := range ns {
+			d.adj = append(d.adj, int32(w))
+			if d.wts != nil {
 				wt := ws[i]
 				d.wts = append(d.wts, wt)
 				if wt != math.Trunc(wt) || wt < 1 || wt > dialMaxWeight {
@@ -140,21 +198,58 @@ func NewDijkstra(g *graph.Graph) *Dijkstra {
 				}
 			}
 		}
-		d.off[v+1] = int32(len(d.adj))
-	}
+		d.bnd[2*v+1] = int32(len(d.adj))
+		d.patched = append(d.patched, int32(v))
+	})
+	d.dial, d.delta = false, 0
 	switch {
-	case !weighted || integral:
+	case d.wts == nil || integral:
 		// Dial's algorithm proper: width-1 buckets, exact arithmetic.
 		d.dial = true
 		d.delta = 1
-		d.buckets = make([][]int32, int(maxW)+2)
+		d.ensureBuckets(int(maxW) + 2)
 	case maxW <= minW*dialMaxRatio:
 		// Calendar queue: bucket width just under the minimum weight.
 		d.dial = true
 		d.delta = minW * (1 - 1e-6)
-		d.buckets = make([][]int32, int(maxW/d.delta)+2)
+		d.ensureBuckets(int(maxW/d.delta) + 2)
 	}
-	return d
+}
+
+// ensureBuckets grows the bucket ring to at least k slots. A ring
+// larger than needed stays correct (the open set still spans fewer
+// slots than the ring), so reseating to a narrower weight range keeps
+// the old allocation.
+func (d *Dijkstra) ensureBuckets(k int) {
+	for len(d.buckets) < k {
+		d.buckets = append(d.buckets, nil)
+	}
+}
+
+// Reseat moves the kernel to g2, another snapshot of the same graph
+// lineage, in O(overlay) when g2 shares its base CSR with the current
+// seat (graph.SameStorage); otherwise the kernel is rebuilt. It
+// reports whether the cheap incremental path was taken. Traversal
+// results after a Reseat are bit-identical to a fresh NewDijkstra(g2).
+func (d *Dijkstra) Reseat(g2 *graph.Graph) bool {
+	if g2 == d.g {
+		return true
+	}
+	if !graph.SameStorage(d.g, g2) {
+		*d = *NewDijkstra(g2)
+		return false
+	}
+	for _, v := range d.patched {
+		d.bnd[2*v] = d.baseOff[v]
+		d.bnd[2*v+1] = d.baseOff[v+1]
+	}
+	d.patched = d.patched[:0]
+	d.adj = d.adj[:d.baseLen]
+	if d.wts != nil {
+		d.wts = d.wts[:d.baseLen]
+	}
+	d.seat(g2)
+	return true
 }
 
 // Graph returns the graph this kernel traverses.
@@ -217,7 +312,7 @@ func (d *Dijkstra) runDial(source int) {
 			du := dist[u]
 			su := sigma[u]
 			ws := d.wts
-			for i, end := d.off[u], d.off[u+1]; i < end; i++ {
+			for i, end := d.bnd[2*u], d.bnd[2*u+1]; i < end; i++ {
 				v := d.adj[i]
 				w := 1.0
 				if ws != nil {
@@ -271,7 +366,7 @@ func (d *Dijkstra) runHeap(source int) {
 		du := dist[u]
 		su := sigma[u]
 		ws := d.wts
-		for i, end := d.off[u], d.off[u+1]; i < end; i++ {
+		for i, end := d.bnd[2*u], d.bnd[2*u+1]; i < end; i++ {
 			v := d.adj[i]
 			w := 1.0
 			if ws != nil {

@@ -1,0 +1,197 @@
+package sssp
+
+import (
+	"math"
+	"testing"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+)
+
+// editChain produces a valid chained edit batch against g: a few
+// removals of existing edges (endpoints kept at degree ≥ 2) and
+// additions of absent ones.
+func editChain(g *graph.Graph, k int, r *rng.RNG) []graph.Edit {
+	n := g.N()
+	seen := map[[2]int]bool{}
+	var edits []graph.Edit
+	for len(edits) < k {
+		u := int(r.Uint64n(uint64(n)))
+		ns := g.Neighbors(u)
+		if len(ns) > 2 && r.Uint64n(2) == 0 {
+			v := ns[int(r.Uint64n(uint64(len(ns))))]
+			if g.Degree(v) <= 2 {
+				continue
+			}
+			p := [2]int{min(u, v), max(u, v)}
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			edits = append(edits, graph.Edit{Op: graph.EditRemove, U: u, V: v})
+			continue
+		}
+		v := int(r.Uint64n(uint64(n)))
+		if v == u || g.HasEdge(u, v) {
+			continue
+		}
+		p := [2]int{min(u, v), max(u, v)}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		e := graph.Edit{Op: graph.EditAdd, U: u, V: v}
+		if g.Weighted() {
+			e.W = 1 + float64(r.Uint64n(9))
+		}
+		edits = append(edits, e)
+	}
+	return edits
+}
+
+// TestBFSReseatEquivalence drives a BFS kernel across chained overlay
+// versions via Reseat and requires its traversals to be bit-identical
+// to a fresh kernel built on the compacted CSR of each version — the
+// equivalence pin for the streaming fast path, on the unweighted
+// topologies the paper evaluates.
+func TestBFSReseatEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"karate", graph.KarateClub()},
+		{"grid", graph.Grid(10, 8)},
+		{"ba", graph.BarabasiAlbert(200, 3, rng.New(11))},
+		{"er", graph.ErdosRenyiGNP(150, 0.06, rng.New(12))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rng.New(5)
+			g := tc.g
+			kern := NewBFS(g)
+			for step := 0; step < 6; step++ {
+				next, _, err := graph.ApplyEditsOverlay(g, editChain(g, 5, r))
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if !kern.Reseat(next) {
+					t.Fatalf("step %d: expected incremental reseat", step)
+				}
+				ref := NewBFS(next.Compact())
+				for _, src := range []int{0, g.N() / 2, g.N() - 1} {
+					kern.Run(src)
+					ref.Run(src)
+					for v := 0; v < g.N(); v++ {
+						if kern.Reached(v) != ref.Reached(v) {
+							t.Fatalf("step %d src %d v %d: reached %v vs %v", step, src, v, kern.Reached(v), ref.Reached(v))
+						}
+						if !kern.Reached(v) {
+							continue
+						}
+						if kern.DistOf(v) != ref.DistOf(v) || kern.SigmaOf(v) != ref.SigmaOf(v) {
+							t.Fatalf("step %d src %d v %d: (%d,%v) vs (%d,%v)",
+								step, src, v, kern.DistOf(v), kern.SigmaOf(v), ref.DistOf(v), ref.SigmaOf(v))
+						}
+					}
+				}
+				g = next
+			}
+			// Reseat across a storage change (compaction) falls back to
+			// a full rebuild and must report it.
+			if kern.Reseat(g.Compact()) {
+				t.Fatal("reseat across compaction should rebuild")
+			}
+		})
+	}
+}
+
+// TestDijkstraReseatEquivalence is the weighted analog, with ≤1e-9
+// relative agreement against a fresh kernel on the compacted CSR (the
+// kernels are bit-identical here in practice, but the pin allows for
+// queue-route changes).
+func TestDijkstraReseatEquivalence(t *testing.T) {
+	base := graph.WithUniformWeights(graph.BarabasiAlbert(150, 3, rng.New(21)), 1, 10, rng.New(22))
+	r := rng.New(23)
+	g := base
+	kern := NewDijkstra(g)
+	for step := 0; step < 6; step++ {
+		next, _, err := graph.ApplyEditsOverlay(g, editChain(g, 5, r))
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if !kern.Reseat(next) {
+			t.Fatalf("step %d: expected incremental reseat", step)
+		}
+		ref := NewDijkstra(next.Compact())
+		for _, src := range []int{0, g.N() / 2, g.N() - 1} {
+			kern.Run(src)
+			ref.Run(src)
+			for v := 0; v < g.N(); v++ {
+				if kern.Reached(v) != ref.Reached(v) {
+					t.Fatalf("step %d src %d v %d: reached mismatch", step, src, v)
+				}
+				if !kern.Reached(v) {
+					continue
+				}
+				if d, rd := kern.DistOf(v), ref.DistOf(v); math.Abs(d-rd) > 1e-9*(1+math.Abs(rd)) {
+					t.Fatalf("step %d src %d v %d: dist %v vs %v", step, src, v, d, rd)
+				}
+				if s, rs := kern.SigmaOf(v), ref.SigmaOf(v); math.Abs(s-rs) > 1e-9*(1+math.Abs(rs)) {
+					t.Fatalf("step %d src %d v %d: sigma %v vs %v", step, src, v, s, rs)
+				}
+			}
+		}
+		g = next
+	}
+}
+
+// TestDijkstraReseatRouteDemotion pins the classification re-check: an
+// overlay weight that breaks the Dial regime must demote the kernel to
+// a bucket/heap route that still matches a fresh kernel.
+func TestDijkstraReseatRouteDemotion(t *testing.T) {
+	b := graph.NewBuilder(8)
+	for i := 0; i < 7; i++ {
+		b.AddWeightedEdge(i, i+1, float64(1+i%3))
+	}
+	b.AddWeightedEdge(0, 7, 2)
+	g := b.MustBuild()
+	kern := NewDijkstra(g)
+	if !kern.dial || kern.delta != 1 {
+		t.Fatalf("integral base should take Dial: dial=%v delta=%v", kern.dial, kern.delta)
+	}
+	// Non-integral overlay weight: Dial is no longer sound; the seat
+	// must re-derive the route (calendar here, ratio 3/0.5 ≤ 64).
+	next, _, err := graph.ApplyEditsOverlay(g, []graph.Edit{{Op: graph.EditAdd, U: 0, V: 4, W: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kern.Reseat(next) {
+		t.Fatal("expected incremental reseat")
+	}
+	if !kern.dial || kern.delta == 1 {
+		t.Fatalf("non-integral overlay should move to calendar queue: dial=%v delta=%v", kern.dial, kern.delta)
+	}
+	// A huge weight spread must fall back to the heap.
+	next2, _, err := graph.ApplyEditsOverlay(next, []graph.Edit{{Op: graph.EditAdd, U: 1, V: 5, W: 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kern.Reseat(next2)
+	if kern.dial {
+		t.Fatal("weight spread past dialMaxRatio should take the heap route")
+	}
+	for _, g2 := range []*graph.Graph{next, next2} {
+		kern.Reseat(g2)
+		ref := NewDijkstra(g2.Compact())
+		for src := 0; src < g2.N(); src++ {
+			kern.Run(src)
+			ref.Run(src)
+			for v := 0; v < g2.N(); v++ {
+				if math.Abs(kern.DistOf(v)-ref.DistOf(v)) > 1e-9 || math.Abs(kern.SigmaOf(v)-ref.SigmaOf(v)) > 1e-9 {
+					t.Fatalf("src %d v %d: (%v,%v) vs (%v,%v)", src, v,
+						kern.DistOf(v), kern.SigmaOf(v), ref.DistOf(v), ref.SigmaOf(v))
+				}
+			}
+		}
+	}
+}

@@ -214,6 +214,7 @@ type Session struct {
 	// addressed through; verCh is the close-and-replace broadcast jobs
 	// with the on_mutate=cancel policy watch.
 	mutMtx      sync.Mutex
+	compacting  atomic.Bool // overlay compaction in flight (stream.go)
 	mutations   atomic.Uint64
 	byLabelOnce sync.Once
 	byLabel     map[int64]int

@@ -14,20 +14,26 @@
 #   OUT=fresh.json scripts/bench.sh compare   # keep the fresh JSON
 #                                             # (nightly CI uploads it)
 #
-# The JSON records, per benchmark, the best (minimum) ns/op over COUNT
-# runs — the most repeatable point estimate on a noisy machine — plus
-# every individual run for spread inspection. Compare mode diffs the
-# best-of-COUNT numbers: only benchmarks present in both files are
-# compared, improvements are reported but never fail the run.
+# The JSON records, per benchmark, the median ns/op over COUNT runs —
+# the point estimate compare mode diffs, robust to one-off stalls in a
+# way best-of is not — plus the best (minimum) and every individual run
+# for spread inspection. Benchmarks whose first-pass runs spread more
+# than SPREAD_PCT (default 15%) around the median are rerun with COUNT
+# extra iterations, and all runs pooled, before the median is taken.
+# Compare mode prefers medians and falls back to best_ns_per_op for
+# baselines recorded before medians existed; only benchmarks present in
+# both files are compared, improvements are reported but never fail the
+# run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE=${1:-record}
 
-BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkEngineBatch32Weighted|BenchmarkSequentialBatch32|BenchmarkApplyEdits|BenchmarkSwapGraphWarm|BenchmarkWALAppend'}
+BENCH=${BENCH:-'BenchmarkT2SingleVertex|BenchmarkT9Weighted|BenchmarkEngineBatch32|BenchmarkEngineBatch32Weighted|BenchmarkSequentialBatch32|BenchmarkApplyEdits|BenchmarkSwapGraphWarm|BenchmarkWALAppend|BenchmarkStreamEdits|BenchmarkOverlayBFS'}
 BENCHTIME=${BENCHTIME:-2s}
 COUNT=${COUNT:-3}
 THRESHOLD_PCT=${THRESHOLD_PCT:-15}
+SPREAD_PCT=${SPREAD_PCT:-15}
 
 case "$MODE" in
 record)
@@ -60,10 +66,47 @@ compare)
 esac
 
 TMP=$(mktemp)
-trap 'rm -f "$TMP" ${CLEAN_OUT:-}' EXIT
+trap 'rm -f "$TMP" "$TMP.spread" "$TMP.base" "$TMP.fresh" ${CLEAN_OUT:-}' EXIT
 
 echo "running: go test -run '^$' -bench '$BENCH' -benchtime $BENCHTIME -count $COUNT ." >&2
 go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TMP" >&2
+
+# High-spread benchmarks get COUNT extra runs pooled in before the
+# median is taken: (max - min) / median > SPREAD_PCT on the first pass.
+awk -v spread="$SPREAD_PCT" '
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name) # strip GOMAXPROCS suffix (-bench matches without it)
+    k = vn[name] += 1
+    v[name, k] = $3 + 0
+    if (!(name in seen)) { seen[name] = 1; order[++n] = name }
+}
+END {
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        cnt = vn[name]
+        # insertion sort of this benchmark runs
+        for (a = 1; a <= cnt; a++) s[a] = v[name, a]
+        for (a = 2; a <= cnt; a++) {
+            x = s[a]
+            for (b = a - 1; b >= 1 && s[b] > x; b--) s[b + 1] = s[b]
+            s[b + 1] = x
+        }
+        med = (cnt % 2) ? s[(cnt + 1) / 2] : (s[cnt / 2] + s[cnt / 2 + 1]) / 2
+        if (med > 0 && (s[cnt] - s[1]) / med * 100 > spread) {
+            # -bench matches each slash-separated element separately, so
+            # anchor every element: A/B -> ^A$/^B$
+            gsub(/\//, "$/^", name)
+            print "^" name "$"
+        }
+    }
+}' "$TMP" > "$TMP.spread"
+
+if [ -s "$TMP.spread" ]; then
+    RERUN=$(paste -sd'|' "$TMP.spread")
+    echo "rerunning high-spread benchmarks (> ${SPREAD_PCT}% first-pass spread) with $COUNT extra runs: $RERUN" >&2
+    go test -run '^$' -bench "$RERUN" -benchtime "$BENCHTIME" -count "$COUNT" . | tee -a "$TMP" >&2
+fi
 
 awk -v date="$(date +%Y-%m-%d)" \
     -v goversion="$(go version | awk '{print $3}')" \
@@ -74,6 +117,8 @@ awk -v date="$(date +%Y-%m-%d)" \
     sub(/-[0-9]+$/, "", name) # strip GOMAXPROCS suffix
     ns = $3 # keep the integer as a string: awk printf/OFMT mangle >2^31
     if (!(name in best) || ns + 0 < best[name] + 0) best[name] = ns
+    k = vn[name] += 1
+    v[name, k] = ns + 0
     if (name in runs) { runs[name] = runs[name] ", " ns } else {
         runs[name] = ns
         order[++n] = name
@@ -88,8 +133,18 @@ END {
     printf "  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
         name = order[i]
-        printf "    \"%s\": {\"best_ns_per_op\": %s, \"runs_ns_per_op\": [%s]}%s\n", \
-            name, best[name], runs[name], (i < n ? "," : "")
+        cnt = vn[name]
+        for (a = 1; a <= cnt; a++) s[a] = v[name, a]
+        for (a = 2; a <= cnt; a++) {
+            x = s[a]
+            for (b = a - 1; b >= 1 && s[b] > x; b--) s[b + 1] = s[b]
+            s[b + 1] = x
+        }
+        med = (cnt % 2) ? s[(cnt + 1) / 2] : (s[cnt / 2] + s[cnt / 2 + 1]) / 2
+        # %.0f, not %d: mawk clamps %d at 2^31-1 and the slow benchmarks
+        # run longer than that in ns.
+        printf "    \"%s\": {\"median_ns_per_op\": %.0f, \"best_ns_per_op\": %s, \"runs_ns_per_op\": [%s]}%s\n", \
+            name, med, best[name], runs[name], (i < n ? "," : "")
     }
     printf "  }\n}\n"
 }' "$TMP" > "$OUT"
@@ -97,14 +152,20 @@ END {
 echo "wrote $OUT" >&2
 
 if [ "$MODE" = compare ]; then
-    echo "comparing against $BASELINE (threshold ${THRESHOLD_PCT}%)" >&2
-    # Both files are this script's own output, so the per-benchmark
-    # lines have the fixed shape:  "Name": {"best_ns_per_op": N, ...
+    echo "comparing against $BASELINE (threshold ${THRESHOLD_PCT}%, medians)" >&2
+    # Both files are this script's own output: one line per benchmark
+    # with best_ns_per_op always present and median_ns_per_op since
+    # medians were introduced. Prefer the median; old baselines without
+    # one fall back to best.
     extract() {
         awk -F'"' '/"best_ns_per_op"/ {
             name = $2
             line = $0
-            sub(/.*"best_ns_per_op": */, "", line)
+            if (line ~ /"median_ns_per_op"/) {
+                sub(/.*"median_ns_per_op": */, "", line)
+            } else {
+                sub(/.*"best_ns_per_op": */, "", line)
+            }
             sub(/[,}].*/, "", line)
             print name, line
         }' "$1"
@@ -131,7 +192,6 @@ if [ "$MODE" = compare ]; then
         printf '  %-28s base %14s ns/op  fresh %14s ns/op  %+6s%%  %s\n' \
             "$name" "$base" "$fresh" "$delta" "$verdict" >&2
     done < "$TMP.fresh"
-    rm -f "$TMP.base" "$TMP.fresh"
     if [ "$FOUND" = 0 ]; then
         echo "bench.sh compare: no common benchmarks between run and baseline" >&2
         exit 2
