@@ -17,6 +17,7 @@ import (
 	"bcmh/internal/exp"
 	"bcmh/internal/graph"
 	"bcmh/internal/mcmc"
+	"bcmh/internal/measure"
 	"bcmh/internal/rank"
 	"bcmh/internal/rng"
 	"bcmh/internal/sampler"
@@ -625,6 +626,66 @@ func BenchmarkWALAppend(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pre := uint64(i)
 		if err := wal.Append(pre, pre+1, edits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// measureFixtures returns the top-degree vertex of the 400-vertex
+// ranking workload — the shared target of the measure benchmarks.
+func measureHub() int {
+	rankFixtures()
+	hub := 0
+	for v := 1; v < rankBA.N(); v++ {
+		if rankBA.Degree(v) > rankBA.Degree(hub) {
+			hub = v
+		}
+	}
+	return hub
+}
+
+// BenchmarkEstimateCoverage measures a 1024-step coverage-centrality
+// chain on the 400-vertex scale-free workload: the BFS-kernel measure
+// path (target snapshot + per-state indicator scan) the /estimate
+// route runs for measure=coverage.
+func BenchmarkEstimateCoverage(b *testing.B) {
+	hub := measureHub()
+	spec := measure.Spec{Kind: measure.Coverage}
+	opts := core.Options{Steps: 1024, Seed: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.Estimate(context.Background(), rankBA, spec, hub, opts, rankPool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRWBCSolve measures building one random-walk-betweenness
+// target: deg(hub) Jacobi-preconditioned CG Laplacian solves plus the
+// sorted absolute-deviation tables — the setup cost every rwbc
+// estimate pays once per target.
+func BenchmarkRWBCSolve(b *testing.B) {
+	hub := measureHub()
+	spec := measure.Spec{Kind: measure.RWBC}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := measure.NewTarget(context.Background(), rankBA, spec, hub, rankPool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimateAdaptive measures one adaptive (empirical-Bernstein)
+// estimate at (0.05, 0.1) on the BA-400 hub — the run that stops at
+// ~1k steps where the fixed Eq. 14 plan budgets ~17k (see
+// TestAdaptiveMatchedAccuracyBA400 and the README "Adaptive stopping"
+// numbers).
+func BenchmarkEstimateAdaptive(b *testing.B) {
+	hub := measureHub()
+	opts := core.Options{Adaptive: true, Epsilon: 0.05, Delta: 0.1, Seed: 7, Estimator: mcmc.EstimatorProposalSide}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.EstimateBC(rankBA, hub, opts); err != nil {
 			b.Fatal(err)
 		}
 	}

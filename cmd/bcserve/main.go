@@ -105,6 +105,7 @@ import (
 	"bcmh/internal/durable"
 	"bcmh/internal/engine"
 	"bcmh/internal/graph"
+	"bcmh/internal/measure"
 	"bcmh/internal/rank"
 	"bcmh/internal/stats"
 	"bcmh/internal/store"
@@ -492,6 +493,9 @@ func runRankCLI(args []string) error {
 		seed    = fs.Uint64("seed", 1, "run seed (reproducible)")
 		z       = fs.Float64("z", rank.DefaultConfidence, "confidence-interval half-width multiplier")
 		estim   = fs.String("estimator", rank.EstimatorUnbiased.String(), `ranking statistic: "unbiased" or "chain-avg"`)
+		meas    = fs.String("measure", "bc", `centrality measure: "bc", "coverage", "kpath", or "rwbc"`)
+		measK   = fs.Int("measure-k", 0, "k-path length bound (kpath only; 0: default)")
+		adapt   = fs.Bool("adaptive", false, "empirical-Bernstein early stop on each per-candidate chain")
 		exact   = fs.Bool("exact", false, "also compute exact betweenness (O(nm) Brandes) and report the top-k overlap")
 		url     = fs.String("url", "", "rank a served graph over HTTP instead of a local file (with -graph)")
 		graphID = fs.String("graph", "", "graph session id to rank on the server at -url")
@@ -499,6 +503,13 @@ func runRankCLI(args []string) error {
 	)
 	retry := retryFlags(fs)
 	fs.Parse(args)
+	spec, err := measure.Parse(*meas, *measK)
+	if err != nil {
+		return fmt.Errorf("-measure: %w", err)
+	}
+	if *exact && !spec.IsBC() {
+		return fmt.Errorf("-exact is betweenness-only; drop it or use -measure bc")
+	}
 	if *graphID != "" || *url != "" {
 		if *graphID == "" || *url == "" {
 			return fmt.Errorf("remote mode needs both -url and -graph")
@@ -509,10 +520,17 @@ func runRankCLI(args []string) error {
 		if *exact {
 			return fmt.Errorf("-exact is local-only (the server does not expose whole-graph Brandes)")
 		}
+		// Keep default-measure requests byte-identical to pre-measure
+		// clients: "bc" rides the omitempty zero value.
+		measName := *meas
+		if spec.IsBC() {
+			measName = ""
+		}
 		return runRankRemote(*url, *graphID, store.RankRequest{
 			K: *k, InitialSteps: *steps, Growth: *growth, MaxRounds: *rounds,
 			TotalBudget: *budget, MaxCandidates: *sample, Concurrency: *conc,
 			Seed: *seed, Confidence: *z, Estimator: *estim,
+			Measure: measName, MeasureK: *measK, Adaptive: *adapt,
 		}, *retry, *poll)
 	}
 	if *in == "" {
@@ -558,7 +576,7 @@ func runRankCLI(args []string) error {
 	opts := rank.Options{
 		K: *k, InitialSteps: *steps, Growth: *growth, MaxRounds: *rounds, TotalBudget: *budget,
 		Confidence: *z, MaxCandidates: *sample, Concurrency: *conc, Seed: *seed,
-		Estimator: estimator,
+		Estimator: estimator, Measure: spec, Adaptive: *adapt,
 	}
 	start := time.Now()
 	res, err := rank.Run(ctx, g, eng.Pool(), opts, func(p rank.Progress) {

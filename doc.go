@@ -12,6 +12,17 @@
 //   - internal/mcmc — the paper's samplers: the single-space MH chain
 //     (§4.2), the joint-space relative sampler (§4.3), the μ(r)
 //     machinery of Theorems 1–2, and the Eq. 14/27 planner.
+//   - internal/measure — the first-class Measure abstraction: a
+//     measure.Spec names a per-vertex statistic d_v(r) sharing
+//     betweenness's normalisation (Σ_v d_v(r) = n(n−1)·Value(r)), so
+//     μ planning and every estimator apply unchanged. Ships bc
+//     (default, the identity-oracle fast path), coverage and k-path
+//     centrality on the BFS kernels, and random-walk (current-flow)
+//     betweenness on CG Laplacian solves; measure.Estimate /
+//     ExactColumn / Stats mirror the core entry points.
+//   - internal/linalg — the graph-Laplacian kernel behind rwbc:
+//     Jacobi-preconditioned conjugate gradient with sum-zero
+//     projection, deterministic to the last bit for fixed inputs.
 //   - internal/engine — the batch estimation subsystem: one prepared
 //     graph handle serving concurrent requests with a shared μ-cache,
 //     a bounded LRU of completed estimates, pooled traversal buffers,
@@ -78,6 +89,14 @@
 // to 499, a session deleted under a running request to 503, and either
 // way the chains stop traversing promptly instead of running to their
 // full step budget.
+//
+// Estimate, batch, exact, and rank requests all accept a "measure"
+// field ("bc" default, "coverage", "kpath" + "measure_k", "rwbc") and
+// an "adaptive" flag that swaps the fixed Eq. 14 plan for an
+// empirical-Bernstein stopping rule bounded by the step budget —
+// responses then carry steps_run/converged/eb_half_width. Requests
+// naming neither are byte-identical to the pre-measure API; golden
+// payload tests pin that.
 //
 // # Dynamic graphs
 //

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/mcmc"
+	"bcmh/internal/rng"
+)
+
+// TestAdaptiveMatchedAccuracyBA400 is the adaptive-stopping acceptance
+// check: on the 400-vertex Barabási–Albert workload, the
+// empirical-Bernstein rule reaches the same (ε,δ) accuracy as the fixed
+// Eq. 14 plan while running strictly fewer chain steps. The fixed plan
+// budgets for the worst case admitted by μ(r); the adaptive rule stops
+// as soon as the observed sample variance certifies the interval, which
+// on heavy-hub scale-free graphs happens orders of magnitude earlier.
+func TestAdaptiveMatchedAccuracyBA400(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 3, rng.New(1))
+	hub := 0
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(hub) {
+			hub = v
+		}
+	}
+	exact, err := ExactBCOf(g, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps, delta = 0.05, 0.1
+
+	fixed, err := EstimateBC(g, hub, Options{Epsilon: eps, Delta: delta, Seed: 7, Estimator: mcmc.EstimatorProposalSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := EstimateBC(g, hub, Options{Adaptive: true, Epsilon: eps, Delta: delta, Seed: 7, Estimator: mcmc.EstimatorProposalSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if e := math.Abs(fixed.Value - exact); e > eps {
+		t.Fatalf("fixed plan error %.4f > eps %.2f (value %.4f, exact %.4f)", e, eps, fixed.Value, exact)
+	}
+	if e := math.Abs(adaptive.Value - exact); e > eps {
+		t.Fatalf("adaptive error %.4f > eps %.2f (value %.4f, exact %.4f)", e, eps, adaptive.Value, exact)
+	}
+	if !adaptive.Diagnostics.Converged {
+		t.Fatalf("adaptive chain did not converge (half-width %.4f after %d steps)",
+			adaptive.Diagnostics.EBHalfWidth, adaptive.Diagnostics.StepsRun)
+	}
+	if adaptive.Diagnostics.StepsRun >= fixed.PlannedSteps {
+		t.Fatalf("adaptive ran %d steps, fixed plan %d — no saving", adaptive.Diagnostics.StepsRun, fixed.PlannedSteps)
+	}
+	t.Logf("BA-400 hub %d (deg %d): exact %.4f; fixed plan %d steps -> %.4f; adaptive %d steps -> %.4f (half-width %.4f)",
+		hub, g.Degree(hub), exact, fixed.PlannedSteps, fixed.Value,
+		adaptive.Diagnostics.StepsRun, adaptive.Value, adaptive.Diagnostics.EBHalfWidth)
+}
+
+// TestAdaptiveRespectsHardBudget pins the budget semantics: Steps (or
+// MaxSteps) is a hard ceiling the adaptive rule cannot exceed, and a
+// chain that hits it reports Converged=false.
+func TestAdaptiveRespectsHardBudget(t *testing.T) {
+	g := graph.KarateClub()
+	est, err := EstimateBC(g, 0, Options{Adaptive: true, Epsilon: 1e-9, Delta: 0.1, Steps: 512, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Diagnostics.StepsRun > 512 {
+		t.Fatalf("adaptive ran %d steps past the 512 hard budget", est.Diagnostics.StepsRun)
+	}
+	if est.Diagnostics.Converged {
+		t.Fatal("eps=1e-9 cannot converge in 512 steps, yet Converged is set")
+	}
+}

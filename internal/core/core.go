@@ -56,6 +56,14 @@ type Options struct {
 	BurnIn         int
 	DegreeProposal bool
 	DisableCache   bool
+	// Adaptive replaces the Eq. 14 fixed-budget plan with the
+	// empirical-Bernstein stopping rule (mcmc.Config.AdaptiveEps): the
+	// chain monitors its proposal-side stream and stops as soon as the
+	// (Epsilon, Delta) confidence half-width is met. Steps — or
+	// MaxSteps when Steps is zero — becomes the hard budget, and no μ
+	// derivation is needed or consulted. With Adaptive false nothing
+	// changes: runs are bit-identical to the pre-adaptive API.
+	Adaptive bool
 }
 
 func (o *Options) withDefaults() Options {
@@ -184,7 +192,7 @@ func EstimateBCContext(ctx context.Context, g *graph.Graph, r int, opts Options)
 	}
 	o := opts.withDefaults()
 	mu := o.MuBound
-	if o.Steps <= 0 && mu <= 0 {
+	if !o.Adaptive && o.Steps <= 0 && mu <= 0 {
 		ms, err := mcmc.MuExact(g, r)
 		if err != nil {
 			return Estimate{}, err
@@ -207,6 +215,46 @@ func EstimateBCPrepared(g *graph.Graph, r int, opts Options, mu float64, pool *m
 	return EstimateBCPreparedContext(context.Background(), g, r, opts, mu, pool)
 }
 
+// ChainConfig resolves normalized options and a μ value into the chain
+// configuration the prepared estimation kernels run: the per-chain step
+// budget (fixed Steps, the Eq. 14 plan from μ, or — under Adaptive —
+// the hard budget the empirical-Bernstein monitor stops within), the
+// ablation knobs, and the adaptive thresholds. muUsed reports the μ the
+// planner consumed (0 when steps were fixed or adaptive). exactZero is
+// the planner's degenerate case — unplanned steps with μ ≤ 0 mean the
+// statistic column is all-zero, the value is exactly 0, and no chain
+// should run. Exported so measure-generic front-ends (internal/measure)
+// plan precisely like the BC fast path instead of duplicating it.
+func ChainConfig(opts Options, mu float64) (cfg mcmc.Config, muUsed float64, exactZero bool) {
+	o := opts.withDefaults()
+	steps := o.Steps
+	switch {
+	case o.Adaptive:
+		if steps <= 0 {
+			steps = o.MaxSteps
+		}
+	case steps <= 0:
+		if mu <= 0 {
+			return mcmc.Config{}, 0, true
+		}
+		muUsed = mu
+		steps = PlanFromMu(o, mu)
+	}
+	cfg = mcmc.Config{
+		Steps:          steps,
+		BurnIn:         o.BurnIn,
+		Estimator:      o.Estimator,
+		DegreeProposal: o.DegreeProposal,
+		DisableCache:   o.DisableCache,
+		InitState:      -1,
+	}
+	if o.Adaptive {
+		cfg.AdaptiveEps = o.Epsilon
+		cfg.AdaptiveDelta = o.Delta
+	}
+	return cfg, muUsed, false
+}
+
 // EstimateBCPreparedContext is EstimateBCPrepared under a context; the
 // chain step loop (single- and parallel-chain paths alike) aborts with
 // ctx's error on cancellation.
@@ -216,28 +264,17 @@ func EstimateBCPreparedContext(ctx context.Context, g *graph.Graph, r int, opts 
 	}
 	o := opts.withDefaults()
 	var est Estimate
-	steps := o.Steps
-	if steps <= 0 {
-		if mu <= 0 {
-			// All-zero dependency column: BC(r) = 0 exactly; no
-			// sampling needed.
-			est.Value = 0
-			est.PlannedSteps = 0
-			est.Chains = 0
-			return est, nil
-		}
-		est.MuUsed = mu
-		steps = PlanFromMu(o, mu)
+	cfg, muUsed, exactZero := ChainConfig(o, mu)
+	if exactZero {
+		// All-zero dependency column: BC(r) = 0 exactly; no sampling
+		// needed.
+		est.Value = 0
+		est.PlannedSteps = 0
+		est.Chains = 0
+		return est, nil
 	}
-	cfg := mcmc.Config{
-		Steps:          steps,
-		BurnIn:         o.BurnIn,
-		Estimator:      o.Estimator,
-		DegreeProposal: o.DegreeProposal,
-		DisableCache:   o.DisableCache,
-		InitState:      -1,
-	}
-	est.PlannedSteps = steps
+	est.MuUsed = muUsed
+	est.PlannedSteps = cfg.Steps
 	est.Chains = o.Chains
 	if o.Chains > 1 {
 		multi, err := mcmc.EstimateBCParallelPooledContext(ctx, g, r, cfg, o.Seed, o.Chains, pool)

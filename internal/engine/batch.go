@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"bcmh/internal/core"
+	"bcmh/internal/measure"
 	"bcmh/internal/rng"
 )
 
@@ -23,6 +24,10 @@ type BatchOptions struct {
 	Seed uint64
 	// Concurrency bounds the worker pool (default GOMAXPROCS).
 	Concurrency int
+	// Measure selects the centrality measure every target is estimated
+	// under (the zero spec is bc, bit-identical to the pre-measure
+	// batch path).
+	Measure measure.Spec
 }
 
 // BatchResult pairs one requested target with its estimate, in request
@@ -98,7 +103,7 @@ func (e *Engine) EstimateBatchContext(ctx context.Context, targets []int, opts B
 				r := distinct[di]
 				o := opts.Estimation
 				o.Seed = SeedFor(opts.Seed, r)
-				est, err := e.estimateOn(ctx, sn, r, o)
+				est, err := e.estimateOn(ctx, sn, opts.Measure, r, o)
 				if err != nil {
 					errs[di] = err
 					continue

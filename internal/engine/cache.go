@@ -6,17 +6,20 @@ import (
 
 	"bcmh/internal/core"
 	"bcmh/internal/mcmc"
+	"bcmh/internal/measure"
 )
 
 // resultKey identifies one completed estimate: the graph version it
-// ran on, the target vertex, and the normalized options (which include
-// the seed) — so two requests that differ only in defaulted-vs-explicit
-// fields share an entry, two requests with different seeds never
-// collide, and an entry computed before a mutation can never answer a
-// request on the mutated graph.
+// ran on, the target vertex, the measure, and the normalized options
+// (which include the seed) — so two requests that differ only in
+// defaulted-vs-explicit fields share an entry, two requests with
+// different seeds or measures never collide, and an entry computed
+// before a mutation can never answer a request on the mutated graph.
+// The zero spec is bc, so pre-measure requests key exactly as before.
 type resultKey struct {
 	version uint64
 	vertex  int
+	spec    measure.Spec
 	opts    core.Options
 }
 

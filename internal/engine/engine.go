@@ -56,6 +56,7 @@ import (
 	"bcmh/internal/core"
 	"bcmh/internal/graph"
 	"bcmh/internal/mcmc"
+	"bcmh/internal/measure"
 )
 
 // DefaultCacheSize is the default capacity of the completed-estimate
@@ -87,13 +88,21 @@ type snapshot struct {
 	pool    *mcmc.BufferPool
 	version uint64
 
-	// μ-cache: one entry per requested target, computed once in a
-	// detached goroutine so concurrent first requests share the O(nm)
-	// MuExact evaluation and every waiter stays cancellable. Entries
-	// may be carried over from the previous snapshot when retention
-	// proves them unaffected.
+	// μ-cache: one entry per requested (measure, target) pair, computed
+	// once in a detached goroutine so concurrent first requests share
+	// the exact-column evaluation and every waiter stays cancellable.
+	// BC entries (the zero-spec key) may be carried over from the
+	// previous snapshot when retention proves them unaffected.
 	muMtx sync.Mutex
-	mu    map[int]*muEntry
+	mu    map[muKey]*muEntry
+}
+
+// muKey identifies one μ-cache entry: the measure and the target
+// vertex. The zero-spec key is plain BC, so pre-measure callers hit
+// exactly the entries they always did.
+type muKey struct {
+	spec   measure.Spec
+	vertex int
 }
 
 // Engine owns the shared state for estimating betweenness on one
@@ -162,7 +171,7 @@ func NewWithConfig(g *graph.Graph, cfg Config) (*Engine, error) {
 		g:       prepared,
 		pool:    mcmc.NewBufferPool(prepared),
 		version: prepared.Version(),
-		mu:      make(map[int]*muEntry),
+		mu:      make(map[muKey]*muEntry),
 	})
 	return e, nil
 }
@@ -304,19 +313,23 @@ func (e *Engine) SwapGraph(next *graph.Graph, edited [][2]int) (SwapReport, erro
 		g:       next,
 		pool:    pool,
 		version: next.Version(),
-		mu:      make(map[int]*muEntry),
+		mu:      make(map[muKey]*muEntry),
 	}
 	report := SwapReport{Version: next.Version(), Affected: nAffected}
 	cur.muMtx.Lock()
-	for r, ent := range cur.mu {
-		if affected[r] {
+	for k, ent := range cur.mu {
+		// The block-cut retention proof covers the bc dependency column;
+		// non-bc profiles (coverage/kpath share its shortest-path
+		// structure, rwbc's currents are global) are conservatively
+		// recomputed after any mutation.
+		if !k.spec.IsBC() || affected[k.vertex] {
 			report.MuInvalidated++
 			continue
 		}
-		// Unaffected target: the entry (finished or still computing on
-		// the old snapshot, which stays immutable) is exact for the new
-		// graph too.
-		fresh.mu[r] = ent
+		// Unaffected bc target: the entry (finished or still computing
+		// on the old snapshot, which stays immutable) is exact for the
+		// new graph too.
+		fresh.mu[k] = ent
 		report.MuRetained++
 	}
 	cur.muMtx.Unlock()
@@ -370,16 +383,17 @@ func (e *Engine) StreamSwap(next *graph.Graph, pairs [][2]int) (SwapReport, erro
 		g:       next,
 		pool:    cur.pool,
 		version: next.Version(),
-		mu:      make(map[int]*muEntry),
+		mu:      make(map[muKey]*muEntry),
 	}
 	report := SwapReport{Version: next.Version(), Affected: nAffected}
 	cur.muMtx.Lock()
-	for r, ent := range cur.mu {
-		if affected[r] {
+	for k, ent := range cur.mu {
+		// Same retention rule as SwapGraph: bc-only (see there).
+		if !k.spec.IsBC() || affected[k.vertex] {
 			report.MuInvalidated++
 			continue
 		}
-		fresh.mu[r] = ent
+		fresh.mu[k] = ent
 		report.MuRetained++
 	}
 	cur.muMtx.Unlock()
@@ -417,7 +431,7 @@ func (e *Engine) InstallCompacted(next *graph.Graph) error {
 		g:       next,
 		pool:    cur.pool,
 		version: cur.version,
-		mu:      make(map[int]*muEntry),
+		mu:      make(map[muKey]*muEntry),
 	}
 	cur.muMtx.Lock()
 	for r, ent := range cur.mu {
@@ -444,27 +458,41 @@ func (e *Engine) MuStats(r int) (mcmc.MuStats, error) {
 // error immediately — so exact-BC and planned-steps requests are
 // cancellable even while μ is being derived.
 func (e *Engine) MuStatsContext(ctx context.Context, r int) (mcmc.MuStats, error) {
-	return e.muStatsOn(ctx, e.current(), r)
+	return e.muStatsOn(ctx, e.current(), measure.Spec{}, r)
 }
 
-// muStatsOn is MuStatsContext pinned to one snapshot.
-func (e *Engine) muStatsOn(ctx context.Context, sn *snapshot, r int) (mcmc.MuStats, error) {
+// MeasureStatsContext is MuStatsContext for an arbitrary measure: the
+// exact concentration profile of spec at r (MuStats.BC holds the exact
+// value under the shared Σd/(n(n−1)) normalisation), cached per
+// (measure, vertex) with the same single-computation semantics. The
+// zero spec is exactly MuStatsContext.
+func (e *Engine) MeasureStatsContext(ctx context.Context, spec measure.Spec, r int) (mcmc.MuStats, error) {
+	return e.muStatsOn(ctx, e.current(), spec, r)
+}
+
+// muStatsOn is MeasureStatsContext pinned to one snapshot.
+func (e *Engine) muStatsOn(ctx context.Context, sn *snapshot, spec measure.Spec, r int) (mcmc.MuStats, error) {
 	if err := sn.checkVertex(r); err != nil {
 		return mcmc.MuStats{}, err
 	}
+	if err := spec.Supports(sn.g); err != nil {
+		return mcmc.MuStats{}, err
+	}
+	key := muKey{spec: spec, vertex: r}
 	sn.muMtx.Lock()
-	ent, ok := sn.mu[r]
+	ent, ok := sn.mu[key]
 	if !ok {
 		ent = &muEntry{done: make(chan struct{})}
-		sn.mu[r] = ent
+		sn.mu[key] = ent
 		go func() {
-			// Pooled: the target-side BFS snapshot this derives the
-			// column from is cached in the buffer pool, where the same
-			// target's chain oracles will find it (and vice versa).
-			// Bounded by the engine lifecycle, not the requester's ctx:
-			// abandoned requests still warm the cache, but an engine
-			// whose session died stops computing.
-			ent.stats, ent.err = mcmc.MuExactPooledContext(e.lifecycle, sn.g, r, sn.pool)
+			// Pooled: for bc (and the shortest-path measures sharing its
+			// snapshot cache) the target-side BFS this derives the column
+			// from is cached in the buffer pool, where the same target's
+			// chain oracles will find it (and vice versa). Bounded by the
+			// engine lifecycle, not the requester's ctx: abandoned
+			// requests still warm the cache, but an engine whose session
+			// died stops computing.
+			ent.stats, ent.err = measure.Stats(e.lifecycle, sn.g, spec, r, sn.pool)
 			close(ent.done)
 		}()
 	}
@@ -500,6 +528,19 @@ func (e *Engine) ExactBCOfContext(ctx context.Context, r int) (float64, error) {
 	return ms.BC, nil
 }
 
+// ExactMeasureOfContext returns the exact value of spec's centrality at
+// r, served from the (measure, vertex) μ-cache exactly like
+// ExactBCOfContext serves bc — the exact column derived for planning
+// yields the value as a by-product, so repeated exact queries cost one
+// evaluation total.
+func (e *Engine) ExactMeasureOfContext(ctx context.Context, spec measure.Spec, r int) (float64, error) {
+	ms, err := e.MeasureStatsContext(ctx, spec, r)
+	if err != nil {
+		return 0, err
+	}
+	return ms.BC, nil
+}
+
 // Estimate estimates the betweenness of vertex r under opts, sharing
 // the engine's μ-cache, result cache, and buffer pool. Results are
 // bit-identical to core.EstimateBC with the same options and seed on
@@ -517,16 +558,29 @@ func (e *Engine) Estimate(r int, opts core.Options) (core.Estimate, error) {
 // cached. The request runs entirely on the snapshot current at entry:
 // a SwapGraph mid-estimate neither perturbs nor aborts it.
 func (e *Engine) EstimateContext(ctx context.Context, r int, opts core.Options) (core.Estimate, error) {
-	return e.estimateOn(ctx, e.current(), r, opts)
+	return e.estimateOn(ctx, e.current(), measure.Spec{}, r, opts)
 }
 
-// estimateOn is EstimateContext pinned to one snapshot.
-func (e *Engine) estimateOn(ctx context.Context, sn *snapshot, r int, opts core.Options) (core.Estimate, error) {
+// EstimateMeasureContext is EstimateContext for an arbitrary measure:
+// identical caching, planning, snapshot-isolation, and cancellation
+// semantics, with the result LRU and μ-cache keyed by (measure,
+// vertex) so measures never answer each other's requests. The zero
+// spec routes through the bc fast path bit-identically to
+// EstimateContext.
+func (e *Engine) EstimateMeasureContext(ctx context.Context, spec measure.Spec, r int, opts core.Options) (core.Estimate, error) {
+	return e.estimateOn(ctx, e.current(), spec, r, opts)
+}
+
+// estimateOn is EstimateMeasureContext pinned to one snapshot.
+func (e *Engine) estimateOn(ctx context.Context, sn *snapshot, spec measure.Spec, r int, opts core.Options) (core.Estimate, error) {
 	if err := sn.checkVertex(r); err != nil {
 		return core.Estimate{}, err
 	}
+	if err := spec.Supports(sn.g); err != nil {
+		return core.Estimate{}, err
+	}
 	o := opts.Normalized()
-	key := resultKey{version: sn.version, vertex: r, opts: o}
+	key := resultKey{version: sn.version, vertex: r, spec: spec, opts: o}
 	if est, ok := e.results.get(key); ok {
 		e.resultHits.Add(1)
 		return est, nil
@@ -535,14 +589,14 @@ func (e *Engine) estimateOn(ctx context.Context, sn *snapshot, r int, opts core.
 	e.inFlight.Add(1)
 	defer e.inFlight.Add(-1)
 	mu := o.MuBound
-	if o.Steps <= 0 && mu <= 0 {
-		ms, err := e.muStatsOn(ctx, sn, r)
+	if !o.Adaptive && o.Steps <= 0 && mu <= 0 {
+		ms, err := e.muStatsOn(ctx, sn, spec, r)
 		if err != nil {
 			return core.Estimate{}, err
 		}
 		mu = ms.Mu
 	}
-	est, err := core.EstimateBCPreparedContext(ctx, sn.g, r, o, mu, sn.pool)
+	est, err := measure.EstimatePrepared(ctx, sn.g, spec, r, o, mu, sn.pool)
 	if err != nil {
 		return core.Estimate{}, err
 	}

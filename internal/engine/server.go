@@ -11,13 +11,17 @@ import (
 
 	"bcmh/internal/core"
 	"bcmh/internal/mcmc"
+	"bcmh/internal/measure"
 )
 
 // EstimateRequest is the JSON body of POST /estimate. Vertex is an
 // input-file label when the server was built with labels (see
 // NewServerWithLabels), an engine vertex id otherwise. Zero-valued
 // fields take the core.Options defaults (epsilon 0.01, delta 0.1,
-// planned steps, one chain).
+// planned steps, one chain). Measure selects the centrality measure
+// ("bc" default, "coverage", "kpath" with MeasureK, "rwbc"); Adaptive
+// replaces the fixed Eq. 14 plan with the empirical-Bernstein stopping
+// rule at (Epsilon, Delta), bounded by Steps/MaxSteps.
 type EstimateRequest struct {
 	Vertex    int64   `json:"vertex"`
 	Steps     int     `json:"steps,omitempty"`
@@ -28,10 +32,16 @@ type EstimateRequest struct {
 	Chains    int     `json:"chains,omitempty"`
 	Seed      uint64  `json:"seed,omitempty"`
 	Estimator string  `json:"estimator,omitempty"`
+	Measure   string  `json:"measure,omitempty"`
+	MeasureK  int     `json:"measure_k,omitempty"`
+	Adaptive  bool    `json:"adaptive,omitempty"`
 }
 
 // EstimateResponse is the JSON reply of POST /estimate and each entry
-// of POST /estimate/batch.
+// of POST /estimate/batch. The measure and adaptive fields are present
+// only on requests that used them — a plain bc request's reply is
+// byte-identical to the pre-measure API (the golden-payload tests pin
+// this).
 type EstimateResponse struct {
 	Vertex         int64   `json:"vertex"`
 	Value          float64 `json:"value"`
@@ -42,6 +52,12 @@ type EstimateResponse struct {
 	AcceptanceRate float64 `json:"acceptance_rate"`
 	Evals          int     `json:"evals"`
 	CacheHits      int     `json:"cache_hits"`
+	Measure        string  `json:"measure,omitempty"`
+	MeasureK       int     `json:"measure_k,omitempty"`
+	Adaptive       bool    `json:"adaptive,omitempty"`
+	StepsRun       int     `json:"steps_run,omitempty"`
+	Converged      bool    `json:"converged,omitempty"`
+	EBHalfWidth    float64 `json:"eb_half_width,omitempty"`
 }
 
 // BatchRequest is the JSON body of POST /estimate/batch: one set of
@@ -58,6 +74,9 @@ type BatchRequest struct {
 	MaxSteps    int     `json:"max_steps,omitempty"`
 	Chains      int     `json:"chains,omitempty"`
 	Estimator   string  `json:"estimator,omitempty"`
+	Measure     string  `json:"measure,omitempty"`
+	MeasureK    int     `json:"measure_k,omitempty"`
+	Adaptive    bool    `json:"adaptive,omitempty"`
 }
 
 // BatchResponse is the JSON reply of POST /estimate/batch; Results is
@@ -67,10 +86,21 @@ type BatchResponse struct {
 	ElapsedMS float64            `json:"elapsed_ms"`
 }
 
-// ExactResponse is the JSON reply of GET /exact/{v}.
+// ExactResponse is the JSON reply of GET /exact/{v} for the default
+// measure (no query parameters, or ?measure=bc) — unchanged from the
+// pre-measure API.
 type ExactResponse struct {
 	Vertex int64   `json:"vertex"`
 	BC     float64 `json:"bc"`
+}
+
+// MeasureExactResponse is the JSON reply of GET /exact/{v}?measure=…
+// for a non-bc measure.
+type MeasureExactResponse struct {
+	Vertex  int64   `json:"vertex"`
+	Measure string  `json:"measure"`
+	K       int     `json:"k,omitempty"`
+	Value   float64 `json:"value"`
 }
 
 // StatsResponse is the JSON reply of GET /stats.
@@ -155,7 +185,7 @@ func NewServerWithLabels(e *Engine, labels []int64) http.Handler {
 	mux.HandleFunc("POST /estimate/batch", s.handleBatch)
 	mux.HandleFunc("GET /exact/{v}", s.handleExact)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return JSONMux(mux)
 }
 
 type server struct {
@@ -204,6 +234,52 @@ func WriteError(w http.ResponseWriter, status int, err error) {
 	WriteJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// JSONMux wraps a ServeMux so its built-in plain-text replies — 404
+// for unknown routes, 405 (with the Allow header) for method
+// mismatches — take the {"error": ...} shape every handler-written
+// reply uses. Matched requests pass through untouched; the mux's own
+// status and Allow decisions are replayed against a probe writer, so
+// routing semantics are exactly the stock ServeMux's.
+func JSONMux(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, pattern := mux.Handler(r); pattern != "" {
+			mux.ServeHTTP(w, r)
+			return
+		}
+		probe := muxProbe{header: http.Header{}}
+		mux.ServeHTTP(&probe, r)
+		status := probe.status
+		if status == 0 {
+			status = http.StatusNotFound
+		}
+		if allow := probe.header.Get("Allow"); allow != "" {
+			w.Header().Set("Allow", allow)
+		}
+		if status == http.StatusMethodNotAllowed {
+			WriteError(w, status, fmt.Errorf("engine: method %s not allowed for %s", r.Method, r.URL.Path))
+			return
+		}
+		WriteError(w, status, fmt.Errorf("engine: no such route %s", r.URL.Path))
+	})
+}
+
+// muxProbe captures the status and headers ServeMux's internal error
+// handler would have written, discarding the plain-text body.
+type muxProbe struct {
+	header http.Header
+	status int
+}
+
+func (p *muxProbe) Header() http.Header { return p.header }
+
+func (p *muxProbe) Write(b []byte) (int, error) { return len(b), nil }
+
+func (p *muxProbe) WriteHeader(code int) {
+	if p.status == 0 {
+		p.status = code
+	}
+}
+
 // StatusForError maps an estimation-path error to its pinned HTTP
 // status:
 //
@@ -234,8 +310,8 @@ func writeRequestError(w http.ResponseWriter, ctx context.Context, err error) {
 	WriteError(w, status, mapped)
 }
 
-func toResponse(label int64, seed uint64, est core.Estimate) EstimateResponse {
-	return EstimateResponse{
+func toResponse(label int64, seed uint64, spec measure.Spec, adaptive bool, est core.Estimate) EstimateResponse {
+	resp := EstimateResponse{
 		Vertex:         label,
 		Value:          est.Value,
 		PlannedSteps:   est.PlannedSteps,
@@ -246,6 +322,21 @@ func toResponse(label int64, seed uint64, est core.Estimate) EstimateResponse {
 		Evals:          est.Diagnostics.Evals,
 		CacheHits:      est.Diagnostics.CacheHits,
 	}
+	// Opt-in fields only: a plain bc request's reply must stay
+	// byte-identical to the pre-measure API.
+	if !spec.IsBC() {
+		resp.Measure = spec.Kind.String()
+		if spec.Kind == measure.KPath {
+			resp.MeasureK = spec.K
+		}
+	}
+	if adaptive {
+		resp.Adaptive = true
+		resp.StepsRun = est.Diagnostics.StepsRun
+		resp.Converged = est.Diagnostics.Converged
+		resp.EBHalfWidth = est.Diagnostics.EBHalfWidth
+	}
+	return resp
 }
 
 func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
@@ -255,6 +346,11 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind, err := parseEstimator(req.Estimator)
+	if err != nil {
+		writeRequestError(w, r.Context(), err)
+		return
+	}
+	spec, err := measure.Parse(req.Measure, req.MeasureK)
 	if err != nil {
 		writeRequestError(w, r.Context(), err)
 		return
@@ -277,13 +373,14 @@ func (s *server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		Chains:    req.Chains,
 		Seed:      req.Seed,
 		Estimator: kind,
+		Adaptive:  req.Adaptive,
 	}
-	est, err := s.e.EstimateContext(r.Context(), vertex, opts)
+	est, err := s.e.EstimateMeasureContext(r.Context(), spec, vertex, opts)
 	if err != nil {
 		writeRequestError(w, r.Context(), err)
 		return
 	}
-	WriteJSON(w, http.StatusOK, toResponse(req.Vertex, req.Seed, est))
+	WriteJSON(w, http.StatusOK, toResponse(req.Vertex, req.Seed, spec, req.Adaptive, est))
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -293,6 +390,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind, err := parseEstimator(req.Estimator)
+	if err != nil {
+		writeRequestError(w, r.Context(), err)
+		return
+	}
+	spec, err := measure.Parse(req.Measure, req.MeasureK)
 	if err != nil {
 		writeRequestError(w, r.Context(), err)
 		return
@@ -321,9 +423,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			MaxSteps:  req.MaxSteps,
 			Chains:    req.Chains,
 			Estimator: kind,
+			Adaptive:  req.Adaptive,
 		},
 		Seed:        req.Seed,
 		Concurrency: req.Concurrency,
+		Measure:     spec,
 	}
 	start := time.Now()
 	results, err := s.e.EstimateBatchContext(r.Context(), targets, opts)
@@ -336,7 +440,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 	}
 	for i, br := range results {
-		resp.Results[i] = toResponse(s.labelFor(br.Target), SeedFor(req.Seed, br.Target), br.Estimate)
+		resp.Results[i] = toResponse(s.labelFor(br.Target), SeedFor(req.Seed, br.Target), spec, req.Adaptive, br.Estimate)
 	}
 	WriteJSON(w, http.StatusOK, resp)
 }
@@ -347,17 +451,43 @@ func (s *server) handleExact(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, fmt.Errorf("bad vertex %q", r.PathValue("v")))
 		return
 	}
+	q := r.URL.Query()
+	k := 0
+	if ks := q.Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil {
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("bad k %q", ks))
+			return
+		}
+	}
+	spec, err := measure.Parse(q.Get("measure"), k)
+	if err != nil {
+		writeRequestError(w, r.Context(), err)
+		return
+	}
 	v, err := s.vertexOf(label)
 	if err != nil {
 		writeRequestError(w, r.Context(), err)
 		return
 	}
-	bc, err := s.e.ExactBCOfContext(r.Context(), v)
+	if spec.IsBC() {
+		bc, err := s.e.ExactBCOfContext(r.Context(), v)
+		if err != nil {
+			writeRequestError(w, r.Context(), err)
+			return
+		}
+		WriteJSON(w, http.StatusOK, ExactResponse{Vertex: label, BC: bc})
+		return
+	}
+	val, err := s.e.ExactMeasureOfContext(r.Context(), spec, v)
 	if err != nil {
 		writeRequestError(w, r.Context(), err)
 		return
 	}
-	WriteJSON(w, http.StatusOK, ExactResponse{Vertex: label, BC: bc})
+	resp := MeasureExactResponse{Vertex: label, Measure: spec.Kind.String(), Value: val}
+	if spec.Kind == measure.KPath {
+		resp.K = spec.K
+	}
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

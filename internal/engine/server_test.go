@@ -255,3 +255,39 @@ func TestServerExactUsesMuCache(t *testing.T) {
 		t.Fatalf("second exact query recomputed μ: %+v", st)
 	}
 }
+
+// TestServerMuxErrorsAreJSON pins the {"error": ...} shape on the
+// replies the stock ServeMux would write as plain text: 404 for an
+// unknown route, 405 (with Allow preserved) for a method mismatch.
+func TestServerMuxErrorsAreJSON(t *testing.T) {
+	_, srv := newKarateServer(t)
+
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, srv.URL+"/nosuch", &errBody); code != http.StatusNotFound {
+		t.Fatalf("GET /nosuch: status %d, want 404", code)
+	}
+	if errBody.Error == "" {
+		t.Fatal("GET /nosuch: empty error message")
+	}
+
+	resp, err := http.Get(srv.URL + "/estimate") // registered as POST-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /estimate: status %d, want 405", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "POST" {
+		t.Fatalf("GET /estimate: Allow %q, want POST", allow)
+	}
+	errBody.Error = ""
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil {
+		t.Fatalf("GET /estimate: non-JSON 405 body: %v", err)
+	}
+	if errBody.Error == "" {
+		t.Fatal("GET /estimate: empty error message in 405 body")
+	}
+}

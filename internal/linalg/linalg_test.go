@@ -1,0 +1,221 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+)
+
+// denseSolve solves L·x = b (b ⊥ 1) by Gaussian elimination on the
+// grounded Laplacian (vertex 0's row and column struck out), then
+// recentres to the sum-zero representative — the direct reference the
+// CG kernel is held to.
+func denseSolve(t *testing.T, g *graph.Graph, b []float64) []float64 {
+	t.Helper()
+	n := g.N()
+	m := n - 1 // grounded system size; unknowns are vertices 1..n-1
+	a := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		a[i] = make([]float64, m+1)
+		v := i + 1
+		a[i][i] = float64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if u != 0 {
+				a[i][u-1] -= 1
+			}
+		}
+		a[i][m] = b[v]
+	}
+	for col := 0; col < m; col++ {
+		pivot := col
+		for row := col + 1; row < m; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[pivot][col]) {
+				pivot = row
+			}
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		if a[col][col] == 0 {
+			t.Fatal("singular grounded Laplacian (graph disconnected?)")
+		}
+		for row := col + 1; row < m; row++ {
+			f := a[row][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k <= m; k++ {
+				a[row][k] -= f * a[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := m - 1; i >= 0; i-- {
+		s := a[i][m]
+		for k := i + 1; k < m; k++ {
+			s -= a[i][k] * x[k+1]
+		}
+		x[i+1] = s / a[i][i]
+	}
+	center(x)
+	return x
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestSolveMatchesDense(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"karate", graph.KarateClub()},
+		{"path", graph.Path(17)},
+		{"cycle", graph.Cycle(12)},
+		{"ba", graph.BarabasiAlbert(60, 3, rng.New(5))},
+		{"er", mustConnected(t, graph.ErdosRenyiGNP(50, 0.12, rng.New(9)))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := NewLaplacian(tc.g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := NewSolver(l)
+			n := tc.g.N()
+			r := rng.New(77)
+			for trial := 0; trial < 3; trial++ {
+				// Unit-dipole RHS e_s − e_t: the current-flow shape.
+				b := make([]float64, n)
+				src, dst := r.Intn(n), r.Intn(n)
+				if src == dst {
+					dst = (dst + 1) % n
+				}
+				b[src], b[dst] = 1, -1
+				x := make([]float64, n)
+				if err := s.Solve(b, x); err != nil {
+					t.Fatal(err)
+				}
+				want := denseSolve(t, tc.g, b)
+				if d := maxAbsDiff(x, want); d > 1e-9 {
+					t.Errorf("trial %d: CG vs dense max diff %g", trial, d)
+				}
+				var sum float64
+				for _, v := range x {
+					sum += v
+				}
+				if math.Abs(sum) > 1e-9 {
+					t.Errorf("trial %d: solution not sum-zero (Σx=%g)", trial, sum)
+				}
+			}
+		})
+	}
+}
+
+func TestSolveProjectsRHS(t *testing.T) {
+	g := graph.KarateClub()
+	l, err := NewLaplacian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(l)
+	n := g.N()
+	b := make([]float64, n)
+	b[3], b[20] = 1, -1
+	want := make([]float64, n)
+	if err := s.Solve(b, want); err != nil {
+		t.Fatal(err)
+	}
+	// Shifting b along 1 must not change the solution: only the
+	// range-component of the RHS is solvable.
+	shifted := make([]float64, n)
+	for i := range b {
+		shifted[i] = b[i] + 2.5
+	}
+	got := make([]float64, n)
+	if err := s.Solve(shifted, got); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(got, want); d > 1e-11 {
+		t.Errorf("constant-shifted RHS changed the solution by %g", d)
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, rng.New(3))
+	l, err := NewLaplacian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, g.N())
+	b[0], b[100] = 1, -1
+	s1, s2 := NewSolver(l), NewSolver(l)
+	x1, x2 := make([]float64, g.N()), make([]float64, g.N())
+	if err := s1.Solve(b, x1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Solve(b, x2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] {
+			t.Fatalf("solve not bit-deterministic at %d: %v vs %v", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestSolveEdgeCases(t *testing.T) {
+	g := graph.KarateClub()
+	l, err := NewLaplacian(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(l)
+	// Zero (or constant) RHS → zero solution, no iterations.
+	x := make([]float64, g.N())
+	x[5] = 99 // stale content must be cleared
+	if err := s.Solve(make([]float64, g.N()), x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("zero RHS: x[%d]=%v", i, v)
+		}
+	}
+	if s.Iters != 0 {
+		t.Fatalf("zero RHS took %d iterations", s.Iters)
+	}
+	// Dimension mismatch.
+	if err := s.Solve(make([]float64, 3), make([]float64, g.N())); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	// Directed graphs have no symmetric Laplacian.
+	db := graph.NewDirectedBuilder(2)
+	db.AddEdge(0, 1)
+	dg, err := db.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLaplacian(dg); err == nil {
+		t.Fatal("directed graph accepted")
+	}
+}
+
+func mustConnected(t *testing.T, g *graph.Graph) *graph.Graph {
+	t.Helper()
+	if !graph.IsConnected(g) {
+		lc, _, err := graph.LargestComponent(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lc
+	}
+	return g
+}

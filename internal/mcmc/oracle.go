@@ -239,6 +239,10 @@ func (o *Oracle) Dep(v int) float64 {
 // Target returns the oracle's target vertex.
 func (o *Oracle) Target() int { return o.target }
 
+// Work reports (evaluations, memo hits) — the StatOracle accounting
+// surface the measure-generic chain loop reads.
+func (o *Oracle) Work() (evals, hits int) { return o.Evals, o.Hits }
+
 // SetOracle evaluates the vector (δ_v•(r))_{r ∈ R} for a fixed set R.
 // On the Brandes route a single traversal from v yields δ_v•(x) for
 // every x, so the whole R-vector costs the same O(m) as a single entry;

@@ -128,11 +128,21 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 			return MultiResult{}, err
 		}
 	}
+	return combineChainResults(results, cfg), nil
+}
+
+// combineChainResults pools per-chain results with equal weights (all
+// chains get the same step budget; pooling chain averages of
+// equal-length chains is again a chain average). Shared by the BC and
+// measure-generic parallel drivers.
+func combineChainResults(results []Result, cfg Config) MultiResult {
+	chains := len(results)
 	var m MultiResult
 	m.PerChain = results
 	// Pool: equal-length chains → simple means; work sums; max of maxes.
 	var sumVar float64
 	var meanEst float64
+	m.Combined.Converged = chains > 0
 	for _, r := range results {
 		m.Combined.ChainAverage += r.ChainAverage
 		m.Combined.PaperEq7 += r.PaperEq7
@@ -143,6 +153,11 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 		m.Combined.Evals += r.Evals
 		m.Combined.CacheHits += r.CacheHits
 		m.Combined.UniqueStates += r.UniqueStates // upper bound (chains may overlap)
+		m.Combined.StepsRun += r.StepsRun         // total work across chains
+		m.Combined.Converged = m.Combined.Converged && r.Converged
+		if r.EBHalfWidth > m.Combined.EBHalfWidth {
+			m.Combined.EBHalfWidth = r.EBHalfWidth // most pessimistic chain
+		}
 		if r.MaxDepSeen > m.Combined.MaxDepSeen {
 			m.Combined.MaxDepSeen = r.MaxDepSeen
 		}
@@ -173,5 +188,73 @@ func EstimateBCParallelPooledContext(ctx context.Context, g *graph.Graph, r int,
 	case EstimatorHarmonic:
 		m.Combined.Estimate = m.Combined.Harmonic
 	}
-	return m, nil
+	return m
+}
+
+// EstimateStatParallelPooledContext is the measure-generic analogue of
+// EstimateBCParallelPooledContext: `chains` independent chains over
+// per-chain statistic oracles built by newOracle (called once per
+// chain, from that chain's goroutine — evaluation kernels are not
+// concurrency-safe, so each chain needs its own; expensive per-target
+// state should be computed once outside and shared by the closures).
+// Chain i consumes the stream seed.Split("chain-i"), exactly like the
+// BC driver, so a measure run is reproducible the same way. Under the
+// adaptive stopping rule chains monitor their own streams and may stop
+// at different step counts; Combined.StepsRun totals the actual work.
+func EstimateStatParallelPooledContext(ctx context.Context, g *graph.Graph, newOracle func() (StatOracle, error), cfg Config, seed uint64, chains int, pool *BufferPool) (MultiResult, error) {
+	if chains <= 0 {
+		return MultiResult{}, fmt.Errorf("mcmc: chains must be positive, got %d", chains)
+	}
+	n := g.N()
+	if n < 2 {
+		return MultiResult{}, fmt.Errorf("mcmc: graph too small (n=%d)", n)
+	}
+	if err := cfg.validate(n); err != nil {
+		return MultiResult{}, err
+	}
+	var degAlias *rng.Alias
+	if cfg.DegreeProposal {
+		if pool != nil {
+			degAlias = pool.degreeAlias(g)
+		} else {
+			degAlias = degreeAliasFor(g)
+		}
+	}
+	results := make([]Result, chains)
+	errs := make([]error, chains)
+	var wg sync.WaitGroup
+	root := rng.New(seed)
+	for i := 0; i < chains; i++ {
+		chainRNG := root.Split(fmt.Sprintf("chain-%d", i))
+		wg.Add(1)
+		go func(i int, chainRNG *rng.RNG) {
+			defer wg.Done()
+			var b *chainBuffers
+			if pool != nil {
+				b = pool.get(g)
+				defer pool.put(b)
+			} else {
+				b = newChainBuffers(g)
+			}
+			oracle, err := newOracle()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := runSingleChain(ctx, g, oracle, cfg, chainRNG, b, degAlias)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res.Evals, res.CacheHits = oracle.Work()
+			results[i] = res
+		}(i, chainRNG)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return MultiResult{}, err
+		}
+	}
+	return combineChainResults(results, cfg), nil
 }

@@ -279,6 +279,16 @@ func (p *BufferPool) targetSPD(g *graph.Graph, target int) *sssp.TargetSPD {
 	return ent.spd
 }
 
+// TargetSnapshot is targetSPD exported for the measure oracles
+// (internal/measure): coverage and k-path evaluations scan the same
+// target-side distance snapshot the betweenness identity oracle reads,
+// so sharing the pool's per-target LRU means a μ derivation, a BC
+// chain, and a coverage chain on one target all pay for a single
+// target-side BFS between them. Nil off the BFS identity route.
+func (p *BufferPool) TargetSnapshot(g *graph.Graph, target int) *sssp.TargetSPD {
+	return p.targetSPD(g, target)
+}
+
 // weightedTargetSPD is targetSPD's weighted counterpart: non-nil only
 // on the Dijkstra identity route. Both snapshot kinds share one LRU (a
 // graph is either weighted or not, so in practice every entry is the

@@ -3,6 +3,7 @@ package mcmc
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"bcmh/internal/graph"
 	"bcmh/internal/rng"
@@ -100,6 +101,21 @@ type Config struct {
 	// standard errors apply; internal/rank's confidence intervals are
 	// built on this stream. One float64 per step of memory.
 	CollectProposalTrace bool
+	// AdaptiveEps, when positive, arms the empirical-Bernstein stopping
+	// rule (Audibert–Munos–Szepesvári / Maurer–Pontil style, per the
+	// follow-up paper arXiv:1810.10094): the proposal-side sample
+	// stream — iid, so concentration applies cleanly — is monitored at
+	// geometrically spaced checkpoints, and the chain stops as soon as
+	// the variance-adaptive half-width drops to AdaptiveEps, instead of
+	// always running the μ-planned worst-case budget. Steps then acts
+	// as the hard budget the rule may undercut. Zero (the default)
+	// disables the rule; a disabled run is bit-identical to one built
+	// before the rule existed — the monitor adds no RNG draws.
+	AdaptiveEps float64
+	// AdaptiveDelta is the failure probability the adaptive rule's
+	// confidence sequence spends across its checkpoints (default 0.1;
+	// only read when AdaptiveEps is positive).
+	AdaptiveDelta float64
 }
 
 // DefaultConfig returns the paper-faithful configuration with the given
@@ -141,6 +157,17 @@ type Result struct {
 	// state (nil unless Config.CollectProposalTrace was set); its mean
 	// is Result.ProposalSide.
 	ProposalFTrace []float64
+
+	// StepsRun is the number of MH iterations actually executed: equal
+	// to Config.Steps unless the adaptive stopping rule fired first.
+	StepsRun int
+	// Converged reports whether the adaptive stopping rule fired before
+	// the step budget ran out (always false when the rule is disabled).
+	Converged bool
+	// EBHalfWidth is the empirical-Bernstein half-width at the last
+	// checkpoint evaluated (zero when the rule is disabled or no
+	// checkpoint was reached).
+	EBHalfWidth float64
 }
 
 // MuHat returns the empirical lower-bound estimate of μ(target):
@@ -166,7 +193,44 @@ func (c *Config) validate(n int) error {
 	if c.TraceEvery < 0 {
 		return fmt.Errorf("mcmc: TraceEvery must be non-negative")
 	}
+	if c.AdaptiveEps < 0 {
+		return fmt.Errorf("mcmc: AdaptiveEps must be non-negative")
+	}
+	if c.AdaptiveDelta < 0 || c.AdaptiveDelta >= 1 {
+		return fmt.Errorf("mcmc: AdaptiveDelta must be in [0,1)")
+	}
 	return nil
+}
+
+// StatOracle is the per-state statistic evaluator a chain runs
+// against: Dep(v) returns the non-negative per-vertex score d_v (for
+// betweenness, δ_v•(r)) that both the acceptance ratio and the
+// estimators read, and Work reports the (evaluations, memo hits) pair
+// for work accounting. The BC Oracle implements it natively; measure
+// packages plug alternative centralities into the same chain loop by
+// implementing this interface — every estimator variant, the adaptive
+// stopping rule, and the μ̂ diagnostics carry over unchanged because
+// they only ever see Dep values.
+type StatOracle interface {
+	Dep(v int) float64
+	Work() (evals, hits int)
+}
+
+// adaptiveFirstCheck is the first empirical-Bernstein checkpoint;
+// later checkpoints double (64, 128, 256, ...), so the monitor's cost
+// is O(log T) half-width computations per chain.
+const adaptiveFirstCheck = 64
+
+// ebHalfWidth is the empirical-Bernstein half-width for t iid samples
+// in [0, rng] with empirical variance v and per-checkpoint failure
+// probability delta (Maurer–Pontil, Theorem 4 shape):
+// sqrt(2·v·ln(3/δ)/t) + 3·rng·ln(3/δ)/t.
+func ebHalfWidth(v float64, t int, rng, delta float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	l := math.Log(3 / delta)
+	return math.Sqrt(2*v*l/float64(t)) + 3*rng*l/float64(t)
 }
 
 // EstimateBC runs the single-space Metropolis–Hastings sampler of §4.2
@@ -239,6 +303,48 @@ func EstimateBCPooledContext(ctx context.Context, g *graph.Graph, r int, cfg Con
 	return res, err
 }
 
+// EstimateStatPooled runs the same single-space MH chain against an
+// arbitrary statistic oracle — the measure-generic entry point. The
+// stationary distribution is ∝ oracle.Dep, and every estimator variant
+// reads d/(n−1) exactly as the betweenness chain does, so a measure
+// whose per-vertex statistic shares betweenness's normalisation (sum
+// over vertices = n(n−1)·Value) reuses the whole estimator stack. The
+// pool only supplies the visited-set scratch here (the oracle owns its
+// own kernels and memo); nil allocates.
+func EstimateStatPooled(g *graph.Graph, oracle StatOracle, cfg Config, rnd *rng.RNG, pool *BufferPool) (Result, error) {
+	return EstimateStatPooledContext(context.Background(), g, oracle, cfg, rnd, pool)
+}
+
+// EstimateStatPooledContext is EstimateStatPooled under a context (the
+// chain loop polls ctx exactly like EstimateBCPooledContext).
+func EstimateStatPooledContext(ctx context.Context, g *graph.Graph, oracle StatOracle, cfg Config, rnd *rng.RNG, pool *BufferPool) (Result, error) {
+	n := g.N()
+	if n < 2 {
+		return Result{}, fmt.Errorf("mcmc: graph too small (n=%d)", n)
+	}
+	if err := cfg.validate(n); err != nil {
+		return Result{}, err
+	}
+	var b *chainBuffers
+	if pool != nil {
+		b = pool.get(g)
+		defer pool.put(b)
+	} else {
+		b = newChainBuffers(g)
+	}
+	var degAlias *rng.Alias
+	if cfg.DegreeProposal {
+		if pool != nil {
+			degAlias = pool.degreeAlias(g)
+		} else {
+			degAlias = degreeAliasFor(g)
+		}
+	}
+	res, err := runSingleChain(ctx, g, oracle, cfg, rnd, b, degAlias)
+	res.Evals, res.CacheHits = oracle.Work()
+	return res, err
+}
+
 // f(v) = δ_v•(r)/(n-1): the paper's per-state statistic, ∈ [0,1).
 func fOf(dep float64, n int) float64 { return dep / float64(n-1) }
 
@@ -268,7 +374,7 @@ func acceptMH(depCur, depNew, hastings float64, rnd *rng.RNG) bool {
 // The loop polls ctx every cancelCheckInterval steps; on cancellation
 // it returns the partial Result (for work accounting) together with
 // ctx's error.
-func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Config, rnd *rng.RNG, b *chainBuffers, degAlias *rng.Alias) (Result, error) {
+func runSingleChain(ctx context.Context, g *graph.Graph, oracle StatOracle, cfg Config, rnd *rng.RNG, b *chainBuffers, degAlias *rng.Alias) (Result, error) {
 	n := g.N()
 	var res Result
 
@@ -327,6 +433,25 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 		depPropSum  float64 // Σ δ over uniform-equivalent proposals
 		accepted    int
 	)
+	// Adaptive stopping state. The monitored stream is the
+	// importance-weighted proposal-side f values — iid draws, so the
+	// empirical-Bernstein confidence sequence applies without any
+	// mixing argument. Welford's recurrence keeps mean and variance in
+	// O(1) per step; stepsRun only moves off cfg.Steps when the rule
+	// fires, so a disabled run normalises exactly as before.
+	adaptive := cfg.AdaptiveEps > 0
+	adaptiveDelta := cfg.AdaptiveDelta
+	if adaptiveDelta == 0 {
+		adaptiveDelta = 0.1
+	}
+	var (
+		welMean, welM2 float64
+		fRange         = 1.0 // exact for uniform proposals: f ∈ [0,1)
+		nextCheck      = adaptiveFirstCheck
+		checkIdx       = 0
+	)
+	stepsRun := cfg.Steps
+
 	countState := func(dep float64, stateIdx int) {
 		if stateIdx < cfg.BurnIn {
 			return
@@ -351,8 +476,10 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 		if chainStates > 0 {
 			res.ChainAverage = chainSum / float64(chainStates)
 		}
-		// Eq. 7 literal: accepted-state sum over T+1.
-		res.PaperEq7 = eq7Sum / float64(cfg.Steps+1)
+		// Eq. 7 literal: accepted-state sum over T+1 (T = the steps
+		// actually run, which only differs from cfg.Steps when the
+		// adaptive rule stopped early).
+		res.PaperEq7 = eq7Sum / float64(stepsRun+1)
 		if propCount > 0 {
 			res.ProposalSide = propSum / float64(propCount)
 		}
@@ -377,7 +504,7 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 		}
 	}
 
-	evalsSeen := oracle.Evals
+	evalsSeen, _ := oracle.Work()
 	for t := 1; t <= cfg.Steps; t++ {
 		if cancellable && t%cancelCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
@@ -390,10 +517,12 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 		// so a chain stuck in cold-cache evaluations (memo disabled, or
 		// a large state space early in the run) aborts within one
 		// evaluation instead of cancelCheckInterval of them.
-		if cancellable && oracle.Evals != evalsSeen {
-			evalsSeen = oracle.Evals
-			if err := ctx.Err(); err != nil {
-				return res, err
+		if cancellable {
+			if evals, _ := oracle.Work(); evals != evalsSeen {
+				evalsSeen = evals
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
 			}
 		}
 		if depNew > res.MaxDepSeen {
@@ -415,6 +544,19 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 			propPosFrac += weight
 		}
 		propCount++
+		if adaptive {
+			fw := weight * fOf(depNew, n)
+			d := fw - welMean
+			welMean += d / float64(propCount)
+			welM2 += d * (fw - welMean)
+			if fw > fRange {
+				// Degree-weighted samples can exceed 1; widen the range
+				// term to the observed maximum (a heuristic there — the
+				// rule stays exact for the uniform proposal, where 1
+				// bounds f outright).
+				fRange = fw
+			}
+		}
 
 		hastings := 1.0
 		if cfg.DegreeProposal {
@@ -432,9 +574,24 @@ func runSingleChain(ctx context.Context, g *graph.Graph, oracle *Oracle, cfg Con
 			finish()
 			res.Trace = append(res.Trace, res.Estimate)
 		}
+		if adaptive && (t == nextCheck || t == cfg.Steps) {
+			// Union-bound spending across checkpoints: δ_i =
+			// δ/((i+1)(i+2)) telescopes to δ over all i ≥ 0.
+			deltaI := adaptiveDelta / float64((checkIdx+1)*(checkIdx+2))
+			variance := welM2 / float64(propCount)
+			res.EBHalfWidth = ebHalfWidth(variance, propCount, fRange, deltaI)
+			checkIdx++
+			nextCheck *= 2
+			if res.EBHalfWidth <= cfg.AdaptiveEps {
+				stepsRun = t
+				res.Converged = true
+				break
+			}
+		}
 	}
 	finish()
-	res.AcceptanceRate = float64(accepted) / float64(cfg.Steps)
+	res.StepsRun = stepsRun
+	res.AcceptanceRate = float64(accepted) / float64(stepsRun)
 	res.UniqueStates = uniqueStates
 	if propCount > 0 {
 		res.MeanDepProposal = depPropSum / float64(propCount)

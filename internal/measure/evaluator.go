@@ -1,0 +1,131 @@
+package measure
+
+import (
+	"fmt"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/sssp"
+)
+
+// Evaluator is one chain's view of a measure: it computes the
+// per-vertex statistic d_v(r) on demand and implements
+// mcmc.StatOracle, so the single-space chain drives it exactly like
+// the BC identity oracle. It owns the mutable traversal state (a BFS
+// kernel for coverage/kpath — kernels are not concurrency-safe) plus a
+// dense memo mirroring the BC oracle's cache, so each chain needs its
+// own Evaluator; the expensive read-only state is shared through the
+// Target.
+type Evaluator struct {
+	t     *Target
+	bfs   *sssp.BFS // coverage, kpath (nil for rwbc)
+	memo  []float64 // -1 = unevaluated; statistics are ≥ 0
+	cache bool
+	evals int
+	hits  int
+}
+
+// NewEvaluator returns an evaluator for t over g (the graph t was
+// built on). cache enables the dense per-state memo — the analogue of
+// the BC oracle's dependency cache, and like it the reason chain cost
+// collapses to unique states visited rather than steps run.
+func NewEvaluator(g *graph.Graph, t *Target, cache bool) (*Evaluator, error) {
+	if t == nil {
+		return nil, fmt.Errorf("measure: nil target")
+	}
+	e := &Evaluator{t: t, cache: cache}
+	switch t.Spec.Kind {
+	case Coverage, KPath:
+		e.bfs = sssp.NewBFS(g)
+	case RWBC:
+		// Evaluation reads only the immutable flow tables.
+	default:
+		return nil, fmt.Errorf("measure: no evaluator for %s", t.Spec)
+	}
+	if cache {
+		e.memo = make([]float64, t.n)
+		for v := range e.memo {
+			e.memo[v] = -1
+		}
+	}
+	return e, nil
+}
+
+// Dep returns d_v(r), memoised when the cache is enabled. It is the
+// mcmc.StatOracle hook the chain calls once per proposal.
+func (e *Evaluator) Dep(v int) float64 {
+	if e.cache && e.memo[v] >= 0 {
+		e.hits++
+		return e.memo[v]
+	}
+	e.evals++
+	d := e.eval(v)
+	if e.cache {
+		e.memo[v] = d
+	}
+	return d
+}
+
+// Work reports (fresh evaluations, memo hits) — the mcmc.StatOracle
+// accounting hook.
+func (e *Evaluator) Work() (evals, hits int) { return e.evals, e.hits }
+
+func (e *Evaluator) eval(v int) float64 {
+	switch e.t.Spec.Kind {
+	case Coverage:
+		return e.pathDep(v, false)
+	case KPath:
+		return e.pathDep(v, true)
+	default: // RWBC
+		return e.t.flow.dep(v)
+	}
+}
+
+// pathDep runs one BFS from v and scans the target-side snapshot with
+// the shortest-path identity d(v,r) + d(r,t) = d(v,t) — the same loop
+// as brandes.DependencyOnTargetIdentity, with the measure's twist:
+// coverage replaces the σ-ratio by an indicator (count the covered
+// t), kpath keeps the σ-ratio but admits only pairs within K hops
+// (d(v,t) ≤ K). Both are 0 at v = r by the endpoint convention the
+// stack shares with betweenness.
+func (e *Evaluator) pathDep(v int, bounded bool) float64 {
+	r := e.t.R
+	if v == r {
+		return 0
+	}
+	b := e.bfs
+	b.Run(v)
+	if !b.Reached(r) {
+		return 0
+	}
+	dvr := b.DistOf(r)
+	kCap := int32(0)
+	if bounded {
+		kCap = int32(e.t.Spec.K)
+		if dvr > kCap {
+			// d(v,t) = d(v,r) + d(r,t) ≥ d(v,r) > K for every
+			// admissible t: nothing to scan.
+			return 0
+		}
+	}
+	ts := e.t.tspd
+	svr := b.SigmaOf(r)
+	var sum float64
+	for t, drt := range ts.Dist {
+		if drt < 0 || !b.Reached(t) || t == r {
+			continue
+		}
+		dvt := b.DistOf(t)
+		if dvr+drt != dvt {
+			continue
+		}
+		if bounded {
+			if dvt > kCap {
+				continue
+			}
+			sum += svr * ts.Sigma[t] / b.SigmaOf(t)
+		} else {
+			sum++
+		}
+	}
+	return sum
+}

@@ -1,0 +1,131 @@
+package rank
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/measure"
+	"bcmh/internal/rng"
+)
+
+// exactMeasureTopK returns the exact top-k vertex set of g under spec,
+// from the measure's brute-force column evaluation.
+func exactMeasureTopK(t *testing.T, g *graph.Graph, spec measure.Spec, k int) map[int]bool {
+	t.Helper()
+	vals := make([]float64, g.N())
+	for r := 0; r < g.N(); r++ {
+		ms, err := measure.Stats(context.Background(), g, spec, r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[r] = ms.BC
+	}
+	idx := make([]int, g.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	top := make(map[int]bool, k)
+	for _, v := range idx[:k] {
+		top[v] = true
+	}
+	return top
+}
+
+func rankTopSet(res Result) map[int]bool {
+	s := make(map[int]bool, len(res.TopK))
+	for _, e := range res.TopK {
+		s[e.Vertex] = true
+	}
+	return s
+}
+
+// TestRankCoverageKarateTop5 pins the measure-generic ranking path: a
+// coverage ranking on the karate club recovers the exact coverage
+// top-5 (which differs in composition order from the bc top-5 — vertex
+// 31 outranks 32 under coverage).
+func TestRankCoverageKarateTop5(t *testing.T) {
+	g := graph.KarateClub()
+	spec := measure.Spec{Kind: measure.Coverage}
+	res, err := Run(context.Background(), g, nil, Options{K: 5, Seed: 1, Measure: spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exactMeasureTopK(t, g, spec, 5)
+	got := rankTopSet(res)
+	for v := range want {
+		if !got[v] {
+			t.Fatalf("coverage top-5 %v, exact %v", got, want)
+		}
+	}
+}
+
+// TestRankRWBCKarateTop3 runs the ranking under the most expensive
+// measure (random-walk betweenness, CG solves per candidate) and checks
+// the exact top-3.
+func TestRankRWBCKarateTop3(t *testing.T) {
+	g := graph.KarateClub()
+	spec := measure.Spec{Kind: measure.RWBC}
+	res, err := Run(context.Background(), g, nil, Options{K: 3, Seed: 2, Measure: spec}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := exactMeasureTopK(t, g, spec, 3)
+	got := rankTopSet(res)
+	for v := range want {
+		if !got[v] {
+			t.Fatalf("rwbc top-3 %v, exact %v", got, want)
+		}
+	}
+}
+
+// TestRankMeasureRejectsUnsupportedGraph pins the Supports gate: a
+// weighted graph cannot be ranked under a shortest-path-count measure.
+func TestRankMeasureRejectsUnsupportedGraph(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 1.5)
+	b.AddWeightedEdge(0, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(), g, nil, Options{K: 2, Measure: measure.Spec{Kind: measure.Coverage}}, nil)
+	if err == nil {
+		t.Fatal("weighted graph accepted under coverage")
+	}
+}
+
+// TestRankAdaptiveSpendsFewer pins the adaptive early stop: with the
+// same knobs, the adaptive ranking completes with strictly fewer total
+// MH steps than the fixed-chunk ranking (converged chains refund their
+// unspent budget) and still recovers the exact top-5.
+func TestRankAdaptiveSpendsFewer(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 3, rng.New(7))
+	base := Options{K: 5, Seed: 3, InitialSteps: 4096, MaxRounds: 4}
+	fixed, err := Run(context.Background(), g, nil, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveOpts := base
+	adaptiveOpts.Adaptive = true
+	adaptiveOpts.Epsilon = 0.02
+	adaptiveOpts.Delta = 0.1
+	adaptive, err := Run(context.Background(), g, nil, adaptiveOpts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.TotalSteps >= fixed.TotalSteps {
+		t.Fatalf("adaptive spent %d steps, fixed %d — no early stop happened",
+			adaptive.TotalSteps, fixed.TotalSteps)
+	}
+	want := exactMeasureTopK(t, g, measure.Spec{}, 5)
+	got := rankTopSet(adaptive)
+	for v := range want {
+		if !got[v] {
+			t.Fatalf("adaptive top-5 %v, exact %v", got, want)
+		}
+	}
+}

@@ -50,6 +50,7 @@ import (
 
 	"bcmh/internal/graph"
 	"bcmh/internal/mcmc"
+	"bcmh/internal/measure"
 	"bcmh/internal/rng"
 	"bcmh/internal/stats"
 )
@@ -136,6 +137,23 @@ type Options struct {
 	// Estimator selects the ranking statistic (default
 	// EstimatorUnbiased).
 	Estimator Estimator
+	// Measure selects the centrality measure candidates are ranked by.
+	// The zero spec is betweenness, byte-identical to the pre-measure
+	// ranking path; coverage, k-path, and random-walk betweenness run
+	// the same chains against their internal/measure statistic oracles
+	// (the graph must satisfy Measure.Supports — unweighted and
+	// undirected for the non-bc measures).
+	Measure measure.Spec
+	// Adaptive enables the empirical-Bernstein early stop on every
+	// per-candidate chain: a chain whose proposal-side sample stream is
+	// pinned to ±Epsilon at confidence 1−Delta stops before its round
+	// chunk ends, and the unspent steps stay in the total budget for
+	// later rounds. Rankings with Adaptive false are byte-identical to
+	// the fixed-chunk path.
+	Adaptive bool
+	// Epsilon and Delta parameterise the adaptive stop (defaults 0.01
+	// and 0.1, matching core.Options). Ignored unless Adaptive is set.
+	Epsilon, Delta float64
 }
 
 func (o Options) withDefaults() Options {
@@ -159,6 +177,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Concurrency <= 0 {
 		o.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if o.Adaptive {
+		if o.Epsilon <= 0 {
+			o.Epsilon = 0.01
+		}
+		if o.Delta <= 0 {
+			o.Delta = 0.1
+		}
 	}
 	return o
 }
@@ -214,9 +240,14 @@ type Result struct {
 type cand struct {
 	v       int
 	steps   int     // Σ chain states absorbed
-	est     float64 // pooled mean of f = δ/(n-1), i.e. the BC estimate
+	est     float64 // pooled mean of f = δ/(n-1), i.e. the measure estimate
 	varMean float64 // variance of est (independent-chain pooling)
 	active  bool
+	// tgt caches the candidate's measure target (non-bc rankings only):
+	// target-side shortest-path or current-flow state is per-candidate
+	// and round-independent, so survivors reuse it across rounds instead
+	// of re-solving every round.
+	tgt *measure.Target
 }
 
 // halfWidth is the candidate's interval half-width: the z-scaled
@@ -306,6 +337,12 @@ func Run(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, opts Option
 		return Result{}, fmt.Errorf("rank: graph too small (n=%d)", n)
 	}
 	o := opts.withDefaults()
+	if err := o.Measure.Validate(); err != nil {
+		return Result{}, fmt.Errorf("rank: %w", err)
+	}
+	if err := o.Measure.Supports(g); err != nil {
+		return Result{}, fmt.Errorf("rank: %w", err)
+	}
 	if pool == nil {
 		pool = mcmc.NewBufferPool(g)
 	}
@@ -349,11 +386,11 @@ func Run(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, opts Option
 				lastRound = true
 			}
 		}
-		if err := runRound(ctx, g, pool, active, per, o.Seed, round, o.Concurrency, o.Estimator); err != nil {
+		spent, err := runRound(ctx, g, pool, active, per, round, o)
+		if err != nil {
 			return Result{}, err
 		}
 		res.Rounds = round
-		spent := per * len(active)
 		res.TotalSteps += spent
 		if !unbounded {
 			budgetLeft -= spent
@@ -401,18 +438,25 @@ func Uniform(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, k, per 
 	return Run(ctx, g, pool, opts, nil)
 }
 
-// runRound runs one fixed-length chain per active candidate over a
-// worker pool. Each candidate's trace is absorbed by the worker that
-// ran it; candidates are disjoint, so no locking beyond the dispatch
-// channel is needed.
-func runRound(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, active []*cand, per int, seed uint64, round, workers int, est Estimator) error {
+// runRound runs one chain per active candidate over a worker pool and
+// returns the total MH steps actually run. Each candidate's trace is
+// absorbed by the worker that ran it; candidates are disjoint, so no
+// locking beyond the dispatch channel is needed. Chains are per steps
+// long exactly, unless o.Adaptive lets a converged chain stop early —
+// the returned step total is what the budget accounting deducts, so
+// early stops refund their unspent steps. Non-bc measures estimate
+// through the candidate's measure.Target (built lazily on first use and
+// cached on the candidate for later rounds).
+func runRound(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, active []*cand, per, round int, o Options) (int, error) {
 	if len(active) == 0 {
-		return nil
+		return 0, nil
 	}
+	workers := o.Concurrency
 	if workers > len(active) {
 		workers = len(active)
 	}
 	errs := make([]error, len(active))
+	steps := make([]int, len(active))
 	work := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -422,18 +466,23 @@ func runRound(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, active
 			for i := range work {
 				c := active[i]
 				cfg := mcmc.Config{Steps: per, InitState: -1}
-				if est == EstimatorChainAverage {
+				if o.Estimator == EstimatorChainAverage {
 					cfg.CollectFTrace = true
 				} else {
 					cfg.CollectProposalTrace = true
 				}
-				chainRNG := rng.New(ChainSeed(seed, round, c.v))
-				r, err := mcmc.EstimateBCPooledContext(ctx, g, c.v, cfg, chainRNG, pool)
+				if o.Adaptive {
+					cfg.AdaptiveEps = o.Epsilon
+					cfg.AdaptiveDelta = o.Delta
+				}
+				chainRNG := rng.New(ChainSeed(o.Seed, round, c.v))
+				r, err := runChain(ctx, g, pool, c, cfg, chainRNG, o.Measure)
 				if err != nil {
 					errs[i] = err
 					continue
 				}
-				if est == EstimatorChainAverage {
+				steps[i] = r.StepsRun
+				if o.Estimator == EstimatorChainAverage {
 					c.absorb(r.FTrace)
 				} else {
 					c.absorb(r.ProposalFTrace)
@@ -452,15 +501,40 @@ dispatch:
 	}
 	close(work)
 	wg.Wait()
+	total := 0
+	for _, s := range steps {
+		total += s
+	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return total, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return total, err
 		}
 	}
-	return nil
+	return total, nil
+}
+
+// runChain runs one candidate chain under the ranking's measure: the
+// betweenness fast path for the zero spec, otherwise a measure
+// evaluator over the candidate's (cached) target state.
+func runChain(ctx context.Context, g *graph.Graph, pool *mcmc.BufferPool, c *cand, cfg mcmc.Config, chainRNG *rng.RNG, spec measure.Spec) (mcmc.Result, error) {
+	if spec.IsBC() {
+		return mcmc.EstimateBCPooledContext(ctx, g, c.v, cfg, chainRNG, pool)
+	}
+	if c.tgt == nil {
+		t, err := measure.NewTarget(ctx, g, spec, c.v, pool)
+		if err != nil {
+			return mcmc.Result{}, err
+		}
+		c.tgt = t
+	}
+	ev, err := measure.NewEvaluator(g, c.tgt, !cfg.DisableCache)
+	if err != nil {
+		return mcmc.Result{}, err
+	}
+	return mcmc.EstimateStatPooledContext(ctx, g, ev, cfg, chainRNG, pool)
 }
 
 // prune deactivates every active candidate whose interval upper bound

@@ -18,6 +18,7 @@ import (
 
 	"bcmh/internal/engine"
 	"bcmh/internal/jobs"
+	"bcmh/internal/measure"
 	"bcmh/internal/rank"
 )
 
@@ -69,6 +70,18 @@ type RankRequest struct {
 	// Estimator selects the ranking statistic: "unbiased" (default) or
 	// "chain-avg" (see rank.Estimator).
 	Estimator string `json:"estimator,omitempty"`
+	// Measure selects the centrality measure candidates are ranked by:
+	// "bc" (default), "coverage", "kpath", or "rwbc". MeasureK is the
+	// k-path length bound, only valid with "kpath" (default
+	// measure.DefaultKPathK).
+	Measure  string `json:"measure,omitempty"`
+	MeasureK int    `json:"measure_k,omitempty"`
+	// Adaptive enables the empirical-Bernstein early stop on every
+	// per-candidate chain (see rank.Options.Adaptive); Epsilon and Delta
+	// parameterise it and are only valid with Adaptive.
+	Adaptive bool    `json:"adaptive,omitempty"`
+	Epsilon  float64 `json:"epsilon,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
 	// Sync forces the execution mode: true runs the ranking inside the
 	// request (200 with the final RankResult; rejected with 400 beyond
 	// max(SyncRankN, DefaultSyncRankCap) vertices — inline rankings
@@ -116,6 +129,17 @@ func (req *RankRequest) validate() error {
 	if _, err := parseRankEstimator(req.Estimator); err != nil {
 		return err
 	}
+	if _, err := measure.Parse(req.Measure, req.MeasureK); err != nil {
+		return err
+	}
+	switch {
+	case !req.Adaptive && (req.Epsilon != 0 || req.Delta != 0):
+		return fmt.Errorf("epsilon/delta are only valid with \"adaptive\": true")
+	case req.Epsilon < 0 || req.Epsilon >= 1:
+		return fmt.Errorf("epsilon %v outside [0,1)", req.Epsilon)
+	case req.Delta < 0 || req.Delta >= 1:
+		return fmt.Errorf("delta %v outside [0,1)", req.Delta)
+	}
 	switch req.OnMutate {
 	case "", OnMutateFinish, OnMutateCancel:
 	default:
@@ -137,7 +161,8 @@ func parseRankEstimator(name string) (rank.Estimator, error) {
 }
 
 func (req *RankRequest) options() rank.Options {
-	est, _ := parseRankEstimator(req.Estimator) // validated earlier
+	est, _ := parseRankEstimator(req.Estimator)         // validated earlier
+	spec, _ := measure.Parse(req.Measure, req.MeasureK) // validated earlier
 	if req.TotalBudget == 0 {
 		// Serving default: a hard step ceiling, so no combination of
 		// the multiplicative knobs keeps a job slot busy forever.
@@ -154,6 +179,10 @@ func (req *RankRequest) options() rank.Options {
 		Concurrency:   req.Concurrency,
 		Seed:          req.Seed,
 		Estimator:     est,
+		Measure:       spec,
+		Adaptive:      req.Adaptive,
+		Epsilon:       req.Epsilon,
+		Delta:         req.Delta,
 	}
 }
 
@@ -193,6 +222,13 @@ type RankResult struct {
 	Rounds       int         `json:"rounds"`
 	TotalSteps   int         `json:"total_steps"`
 	ElapsedMS    float64     `json:"elapsed_ms"`
+	// Measure/MeasureK echo a non-bc ranking measure; Adaptive echoes
+	// the early-stop flag. All omitted on default-measure fixed-chunk
+	// rankings, keeping those payloads byte-identical to the
+	// pre-measure API.
+	Measure  string `json:"measure,omitempty"`
+	MeasureK int    `json:"measure_k,omitempty"`
+	Adaptive bool   `json:"adaptive,omitempty"`
 }
 
 // JobListResponse is the JSON reply of GET /jobs.
@@ -229,8 +265,8 @@ func labelEntries(sess *Session, in []rank.Entry) []RankEntry {
 	return out
 }
 
-func rankResult(sess *Session, version uint64, res rank.Result, elapsed time.Duration) RankResult {
-	return RankResult{
+func rankResult(sess *Session, version uint64, res rank.Result, opts rank.Options, elapsed time.Duration) RankResult {
+	out := RankResult{
 		Graph:        sess.ID(),
 		GraphVersion: version,
 		K:            len(res.TopK),
@@ -240,7 +276,15 @@ func rankResult(sess *Session, version uint64, res rank.Result, elapsed time.Dur
 		Rounds:       res.Rounds,
 		TotalSteps:   res.TotalSteps,
 		ElapsedMS:    float64(elapsed.Microseconds()) / 1000,
+		Adaptive:     opts.Adaptive,
 	}
+	if !opts.Measure.IsBC() {
+		out.Measure = opts.Measure.Kind.String()
+		if opts.Measure.Kind == measure.KPath {
+			out.MeasureK = opts.Measure.K
+		}
+	}
+	return out
 }
 
 // watchMutations cancels (with a versioned ErrMutatedUnderJob cause)
@@ -330,7 +374,7 @@ func (s *storeServer) handleRank(w http.ResponseWriter, r *http.Request) {
 			engine.WriteError(w, status, mapped)
 			return
 		}
-		engine.WriteJSON(w, http.StatusOK, rankResult(sess, snap.Version, res, time.Since(start)))
+		engine.WriteJSON(w, http.StatusOK, rankResult(sess, snap.Version, res, opts, time.Since(start)))
 		return
 	}
 
@@ -364,7 +408,7 @@ func (s *storeServer) handleRank(w http.ResponseWriter, r *http.Request) {
 			}
 			return nil, err
 		}
-		return rankResult(sess, snap.Version, res, time.Since(start)), nil
+		return rankResult(sess, snap.Version, res, opts, time.Since(start)), nil
 	}, release)
 	if err != nil {
 		release()

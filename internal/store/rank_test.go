@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"bcmh/internal/core"
 	"bcmh/internal/graph"
 	"bcmh/internal/jobs"
+	"bcmh/internal/measure"
 	"bcmh/internal/rng"
 	"bcmh/internal/stats"
 )
@@ -244,6 +246,64 @@ func TestRankRequestValidation(t *testing.T) {
 		t.Fatal("cancel cleanup failed")
 	}
 	pollJob(t, srv, created.ID, 5*time.Second)
+}
+
+// TestRankMeasureSync pins the measure-generic ranking surface: a
+// synchronous coverage ranking recovers the exact coverage top-5 (a
+// different set than the bc top-5 at rank 4-5), echoes the measure in
+// its payload, and the new knobs validate.
+func TestRankMeasureSync(t *testing.T) {
+	_, srv := newTestServer(t, Config{}, "")
+	g := graph.KarateClub()
+	uploadGraph(t, srv, "karate", g)
+
+	syncTrue := true
+	var res RankResult
+	req := RankRequest{K: 5, Seed: 1, Measure: "coverage", Sync: &syncTrue}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/graphs/karate/rank", req, &res); code != http.StatusOK {
+		t.Fatalf("coverage rank: status %d", code)
+	}
+	if res.Measure != "coverage" || res.Adaptive {
+		t.Fatalf("measure echo: %+v", res)
+	}
+	// Exact coverage top-5 from the measure's brute-force column.
+	vals := make([]float64, g.N())
+	for r := 0; r < g.N(); r++ {
+		ms, err := measure.Stats(context.Background(), g, measure.Spec{Kind: measure.Coverage}, r, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[r] = ms.BC
+	}
+	want := make(map[int64]bool, 5)
+	for _, v := range stats.TopKIndices(vals, 5) {
+		want[int64(v)] = true
+	}
+	if got := topLabelSet(res.Top); !sameLabelSet(got, want) {
+		t.Fatalf("coverage top-5 %v, exact %v", got, want)
+	}
+
+	// Adaptive ranking: accepted, echoed, and completes.
+	var ares RankResult
+	areq := RankRequest{K: 5, Seed: 1, Adaptive: true, Epsilon: 0.05, Delta: 0.1, Sync: &syncTrue}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/graphs/karate/rank", areq, &ares); code != http.StatusOK {
+		t.Fatalf("adaptive rank: status %d", code)
+	}
+	if !ares.Adaptive || ares.Measure != "" {
+		t.Fatalf("adaptive echo: %+v", ares)
+	}
+
+	// Validation: unknown measure, misplaced measure_k, and adaptive
+	// knobs without adaptive are all 400.
+	if code := doJSON(t, http.MethodPost, srv.URL+"/graphs/karate/rank", RankRequest{Measure: "bogus"}, nil); code != http.StatusBadRequest {
+		t.Fatalf("unknown measure: status %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/graphs/karate/rank", RankRequest{Measure: "coverage", MeasureK: 3}, nil); code != http.StatusBadRequest {
+		t.Fatalf("misplaced measure_k: status %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/graphs/karate/rank", RankRequest{Epsilon: 0.1}, nil); code != http.StatusBadRequest {
+		t.Fatalf("epsilon without adaptive: status %d", code)
+	}
 }
 
 // TestRankJobListAndProgress pins GET /jobs and the progress payload

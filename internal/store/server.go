@@ -134,7 +134,7 @@ func NewServerWithOptions(st *Store, opts ServerOptions) http.Handler {
 	for _, route := range []string{"POST /estimate", "POST /estimate/batch", "GET /exact/{v}", "GET /stats"} {
 		mux.HandleFunc(route, s.handleDefaultSession)
 	}
-	return mux
+	return engine.JSONMux(mux)
 }
 
 type storeServer struct {
@@ -251,7 +251,9 @@ func (s *storeServer) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *storeServer) handleSession(w http.ResponseWriter, r *http.Request) {
 	rest := r.PathValue("rest")
 	if rest == "" {
-		http.NotFound(w, r)
+		// Keep the JSON error shape every other route uses (the stock
+		// http.NotFound reply is plain text).
+		engine.WriteError(w, http.StatusNotFound, errors.New("store: no such route under /graphs/{id}/"))
 		return
 	}
 	s.serveOnSession(w, r, r.PathValue("id"), "/"+rest)

@@ -481,3 +481,31 @@ func TestUploadedSessionsServeIndependently(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreMuxErrorsAreJSON pins the {"error": ...} shape on unmatched
+// routes at both mux layers: the store's top-level mux and the
+// per-session inner handler reached through /graphs/{id}/{rest...}.
+func TestStoreMuxErrorsAreJSON(t *testing.T) {
+	st, srv := newTestServer(t, Config{}, "")
+	mustCreate(t, st, "k", karateList(t))
+
+	for _, path := range []string{"/zzz", "/graphs/k/nosuch", "/graphs/k/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errBody struct {
+			Error string `json:"error"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&errBody)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+		if decodeErr != nil {
+			t.Errorf("GET %s: non-JSON 404 body: %v", path, decodeErr)
+		} else if errBody.Error == "" {
+			t.Errorf("GET %s: empty error message", path)
+		}
+	}
+}
