@@ -707,3 +707,34 @@ func BenchmarkT12Adaptive(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBFSHybrid / BenchmarkBFSClassic pin the two traversal
+// kernels against each other on both workload shapes: the scale-free
+// graph where the direction-optimizing kernel's bottom-up levels and
+// degree-ordered layout win, and the high-diameter grid whose narrow
+// frontiers must never trigger them (the pair's grid numbers agreeing
+// is the "no high-diameter regression" guard in CI's bench smoke).
+func BenchmarkBFSHybrid(b *testing.B) {
+	benchBFSKernel(b, sssp.NewBFS)
+}
+
+func BenchmarkBFSClassic(b *testing.B) {
+	benchBFSKernel(b, sssp.NewBFSClassic)
+}
+
+func benchBFSKernel(b *testing.B, mk func(*graph.Graph) *sssp.BFS) {
+	fixtures()
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{{"ba2000", fixBA}, {"grid40x40", fixGrid}} {
+		b.Run(tc.name, func(b *testing.B) {
+			k := mk(tc.g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k.Run(i % tc.g.N())
+			}
+		})
+	}
+}

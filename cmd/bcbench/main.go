@@ -4,12 +4,15 @@
 //	bcbench -run all -scale full          # everything, paper scale
 //	bcbench -run f1,t3 -scale quick       # a subset, smoke scale
 //	bcbench -list                         # what exists
+//	bcbench -run t2 -cpuprofile cpu.pb.gz # profile one table's hot path
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -18,10 +21,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		scale = flag.String("scale", "quick", "quick or full")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		scale   = flag.String("scale", "quick", "quick or full")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -40,6 +45,36 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "bcbench: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bcbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "bcbench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bcbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "bcbench: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	start := time.Now()

@@ -47,6 +47,28 @@ func DependencyOnTargetIdentity(vb *sssp.BFS, ts *sssp.TargetSPD, v int) float64
 	dvr := vb.DistOf(r)
 	svr := vb.SigmaOf(r)
 	var sum float64
+	if ord := vb.Ordering(); ord != nil {
+		// Tag-compare fast path for relabeled kernels: the three per-t
+		// tests (reached, distance identity, t ≠ r) collapse to one
+		// uint64 compare — tag[Perm[t]] == epoch<<32 | (dvr+drt) holds
+		// exactly when t was reached this run at distance dvr+drt, and
+		// no stale tag can alias a current-epoch value (epochs only
+		// grow between the wrap's full clears). Iteration and
+		// accumulation stay in external index order, so the sum is
+		// bit-identical to the reference scan below for any kernel
+		// layout — only the per-t reads gather through the permutation.
+		tag, sigma, ep := vb.Raw()
+		base := uint64(ep)<<32 + uint64(uint32(dvr))
+		for t, drt := range ts.Dist {
+			if drt < 0 || t == r {
+				continue
+			}
+			if s := ord.Perm[t]; tag[s] == base+uint64(uint32(drt)) {
+				sum += svr * ts.Sigma[t] / sigma[s]
+			}
+		}
+		return sum
+	}
 	// Sequential scan over all t: every array is read in index order
 	// (the prefetcher's best case), with unreached t filtered by their
 	// stale epoch tag. t == v never passes the distance test (dvr ≥ 1,

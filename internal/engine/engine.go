@@ -76,6 +76,18 @@ type Config struct {
 	// lifecycle context here so an evicted graph stops consuming CPU.
 	// Nil means context.Background (background work always completes).
 	Lifecycle context.Context
+	// DegreeRelabel, when true, renumbers the prepared graph's vertices
+	// in degree-descending order (graph.RelabelByDegree) before
+	// serving, so the public CSR itself — not just the traversal
+	// kernels' private layouts — streams hub rows first. The relabeling
+	// composes with the largest-component extraction through Mapping(),
+	// which keeps translating engine ids back to the caller's original
+	// ids; requests address engine ids either way. Estimates on a
+	// relabeled engine are the same graph isomorphism-invariantly but
+	// not bit-identically (chain targets and seeds land on renumbered
+	// vertices), so leave it off where golden reproducibility against
+	// an unrelabeled run matters.
+	DegreeRelabel bool
 }
 
 // snapshot is one immutable serving state: a graph version, the CSR it
@@ -153,6 +165,22 @@ func NewWithConfig(g *graph.Graph, cfg Config) (*Engine, error) {
 	prepared, mapping, err := core.Prepare(g)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.DegreeRelabel {
+		rel, newToOld, rerr := graph.RelabelByDegree(prepared)
+		if rerr != nil {
+			return nil, rerr
+		}
+		if mapping == nil {
+			mapping = newToOld
+		} else {
+			composed := make([]int, len(newToOld))
+			for v, p := range newToOld {
+				composed[v] = mapping[p]
+			}
+			mapping = composed
+		}
+		prepared = rel
 	}
 	size := cfg.ResultCacheSize
 	if size == 0 {

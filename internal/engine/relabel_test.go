@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"testing"
+
+	"bcmh/internal/graph"
+)
+
+// TestDegreeRelabelComposesMapping pins the Config.DegreeRelabel
+// contract: the served CSR is renumbered degree-descending, and
+// Mapping() composes the relabeling with largest-component extraction
+// so every engine id still translates to the caller's original id.
+func TestDegreeRelabelComposesMapping(t *testing.T) {
+	// Three components: the largest on {0..6} with distinct degrees, a
+	// triangle {7,8,9}, and an edge {10,11}. Prepare keeps {0..6}.
+	b := graph.NewBuilder(12)
+	for v := 1; v <= 6; v++ {
+		b.AddEdge(0, v)
+	}
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(7, 8)
+	b.AddEdge(8, 9)
+	b.AddEdge(7, 9)
+	b.AddEdge(10, 11)
+	orig := b.MustBuild()
+
+	e, err := NewWithConfig(orig, Config{DegreeRelabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Graph()
+	if g.N() != 7 {
+		t.Fatalf("largest component has %d vertices, want 7", g.N())
+	}
+	m := e.Mapping()
+	if m == nil {
+		t.Fatal("mapping missing after extraction + relabel")
+	}
+
+	// Degree-descending slot order, ties by ascending original id
+	// within the prepared component (weaker check here: monotone
+	// degrees suffice, the tie rule is pinned in internal/graph).
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(v-1) {
+			t.Fatalf("degrees not descending: deg(%d)=%d > deg(%d)=%d",
+				v, g.Degree(v), v-1, g.Degree(v-1))
+		}
+	}
+
+	// Mapping is a bijection onto the surviving component, and degrees
+	// survive the translation (component extraction removes whole
+	// components, so no surviving vertex loses an edge).
+	seen := make(map[int]bool)
+	for v := 0; v < g.N(); v++ {
+		ov := m[v]
+		if ov < 0 || ov > 6 || seen[ov] {
+			t.Fatalf("mapping[%d] = %d: not a bijection onto {0..6}", v, ov)
+		}
+		seen[ov] = true
+		if g.Degree(v) != orig.Degree(ov) {
+			t.Fatalf("degree mismatch at engine %d (orig %d): %d != %d",
+				v, ov, g.Degree(v), orig.Degree(ov))
+		}
+	}
+
+	// Adjacency isomorphism: every engine edge is an original edge
+	// under the mapping, and the counts agree.
+	edges := 0
+	g.ForEachEdge(func(u, v int, w float64) {
+		edges++
+		if !orig.HasEdge(m[u], m[v]) {
+			t.Fatalf("engine edge (%d,%d) has no original edge (%d,%d)",
+				u, v, m[u], m[v])
+		}
+	})
+	if edges != 9 {
+		t.Fatalf("relabeled component has %d edges, want 9", edges)
+	}
+}
+
+// TestDegreeRelabelConnected covers the mapping==nil branch (no
+// component extraction): the relabeling alone must surface through
+// Mapping(), and the engine must estimate normally.
+func TestDegreeRelabelConnected(t *testing.T) {
+	orig := graph.KarateClub()
+	e, err := NewWithConfig(orig, Config{DegreeRelabel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := e.Mapping()
+	if m == nil {
+		t.Fatal("mapping missing: relabeling must be visible even without extraction")
+	}
+	g := e.Graph()
+	for v := 1; v < g.N(); v++ {
+		if g.Degree(v) > g.Degree(v-1) {
+			t.Fatalf("degrees not descending at %d", v)
+		}
+	}
+	// Slot 0 must hold karate's hub (vertex 33, degree 17).
+	if m[0] != 33 {
+		t.Fatalf("slot 0 maps to %d, want 33 (highest degree)", m[0])
+	}
+	if _, err := e.Estimate(0, plannedOpts()); err != nil {
+		t.Fatalf("estimate on relabeled engine: %v", err)
+	}
+}

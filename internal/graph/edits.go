@@ -304,6 +304,7 @@ func ApplyEdits(g *Graph, edits []Edit) (*Graph, *EditReport, error) {
 		m:       g.m + gr.added - gr.removed,
 		version: g.version + 1,
 	}
+	out.inheritOrdering(g)
 	return out, &EditReport{
 		Added:   gr.added,
 		Removed: gr.removed,

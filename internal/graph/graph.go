@@ -33,6 +33,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Graph is an immutable simple graph in CSR form. Vertices are the
@@ -46,6 +47,21 @@ type Graph struct {
 	directed bool
 	version  uint64   // mutation stamp: 0 from a Builder, +1 per ApplyEdits
 	ov       *overlay // delta overlay over the base CSR; nil for clean graphs
+
+	// degOrd caches DegreeOrdering, propagated along the mutation
+	// lineage so every version agrees on one ordering (see
+	// DegreeOrdering for why stability beats freshness).
+	degOrd atomic.Pointer[Ordering]
+}
+
+// inheritOrdering copies g's cached degree ordering into next, keeping
+// a mutation lineage on one ordering value. Called by every derivation
+// that preserves the vertex set (ApplyEdits, ApplyEditsOverlay,
+// Compact, RebaseCompacted).
+func (next *Graph) inheritOrdering(g *Graph) {
+	if o := g.degOrd.Load(); o != nil {
+		next.degOrd.Store(o)
+	}
 }
 
 // N returns the number of vertices.

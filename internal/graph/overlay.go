@@ -259,6 +259,7 @@ func ApplyEditsOverlay(g *Graph, edits []Edit) (*Graph, *EditReport, error) {
 		version: g.version + 1,
 		ov:      out,
 	}
+	next.inheritOrdering(g)
 	return next, &EditReport{
 		Added:   gr.added,
 		Removed: gr.removed,
@@ -295,7 +296,7 @@ func (g *Graph) Compact() *Graph {
 			weights = append(weights, g.NeighborWeights(v)...)
 		}
 	}
-	return &Graph{
+	c := &Graph{
 		offsets:  offsets,
 		adj:      adj,
 		weights:  weights,
@@ -303,6 +304,8 @@ func (g *Graph) Compact() *Graph {
 		directed: g.directed,
 		version:  g.version,
 	}
+	c.inheritOrdering(g)
+	return c
 }
 
 // RebaseCompacted re-anchors cur onto c's fresh CSR storage, where c
@@ -364,6 +367,7 @@ func RebaseCompacted(c, from, cur *Graph) (*Graph, bool) {
 		directed: cur.directed,
 		version:  cur.version,
 	}
+	g.inheritOrdering(cur)
 	if len(out.touched) > 0 {
 		// The exact split of cur's edit count between folded and
 		// surviving entries is lost; one edit per surviving entry is a

@@ -110,6 +110,35 @@ func (e *Evaluator) pathDep(v int, bounded bool) float64 {
 	ts := e.t.tspd
 	svr := b.SigmaOf(r)
 	var sum float64
+	if ord := b.Ordering(); ord != nil {
+		// Tag-compare fast path, mirroring brandes.DependencyOnTarget-
+		// Identity: reached + distance-identity + t ≠ r collapse to a
+		// single uint64 tag compare per t, while iteration and
+		// accumulation stay in external index order so the sum is
+		// bit-identical to the reference scan below. d(v,t) = dvr + drt
+		// whenever the identity holds, so the kpath bound needs no
+		// separate distance read.
+		tag, sigma, ep := b.Raw()
+		base := uint64(ep)<<32 + uint64(uint32(dvr))
+		for t, drt := range ts.Dist {
+			if drt < 0 || t == r {
+				continue
+			}
+			s := ord.Perm[t]
+			if tag[s] != base+uint64(uint32(drt)) {
+				continue
+			}
+			if bounded {
+				if dvr+drt > kCap {
+					continue
+				}
+				sum += svr * ts.Sigma[t] / sigma[s]
+			} else {
+				sum++
+			}
+		}
+		return sum
+	}
 	for t, drt := range ts.Dist {
 		if drt < 0 || !b.Reached(t) || t == r {
 			continue

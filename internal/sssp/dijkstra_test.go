@@ -220,7 +220,7 @@ func TestDijkstraUnitWeightBitIdenticalToBFS(t *testing.T) {
 		p := 0.02 + r.Float64()*0.08
 		g := graph.ErdosRenyiGNP(n, p, rng.New(uint64(trial)*7+1))
 		d := NewDijkstra(g)
-		b := NewBFS(g)
+		b := NewBFSClassic(g) // order pin below wants the classic queue order
 		for s := 0; s < g.N(); s += 3 {
 			d.Run(s)
 			b.Run(s)

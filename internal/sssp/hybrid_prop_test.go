@@ -1,0 +1,167 @@
+package sssp
+
+import (
+	"fmt"
+	"testing"
+
+	"bcmh/internal/graph"
+	"bcmh/internal/rng"
+)
+
+// assertKernelsAgree compares the latest runs of two kernels over the
+// same graph for bit-equality: identical reached sets, identical
+// distances, identical σ (float64 == is the point — path counts must
+// match to the bit, not within tolerance, by the SigmaExactLimit
+// argument in sigma.go).
+func assertKernelsAgree(t *testing.T, hy, cl *BFS, n int, ctxt string) {
+	t.Helper()
+	for v := 0; v < n; v++ {
+		if hy.Reached(v) != cl.Reached(v) {
+			t.Fatalf("%s: reached(%d): hybrid %v, classic %v", ctxt, v, hy.Reached(v), cl.Reached(v))
+		}
+		if !hy.Reached(v) {
+			continue
+		}
+		if hy.DistOf(v) != cl.DistOf(v) {
+			t.Fatalf("%s: dist(%d): hybrid %d, classic %d", ctxt, v, hy.DistOf(v), cl.DistOf(v))
+		}
+		if hy.SigmaOf(v) != cl.SigmaOf(v) {
+			t.Fatalf("%s: σ(%d): hybrid %g, classic %g", ctxt, v, hy.SigmaOf(v), cl.SigmaOf(v))
+		}
+	}
+}
+
+// TestHybridClassicEquivalenceRandomized is the randomized acceptance
+// property for the direction-optimizing kernel: over a spread of
+// generated topologies — heavy-tailed and uniform, connected and not —
+// a kernel forced into hybrid mode (bypassing the heavy-tail gate, so
+// the bottom-up machinery runs even where production would not choose
+// it) must agree bit-for-bit with the classic queue kernel on dist, σ,
+// and the reached set. Each graph is then mutated through the overlay
+// path and compacted, re-running the comparison on seated and
+// Reseat-rebuilt kernels, so the equivalence covers every seating state
+// a streaming session drives the kernel through. Nightly CI runs this
+// un-shortened under -race.
+func TestHybridClassicEquivalenceRandomized(t *testing.T) {
+	r := rng.New(42)
+	graphs := 25
+	if testing.Short() {
+		graphs = 8
+	}
+	for i := 0; i < graphs; i++ {
+		var g *graph.Graph
+		switch i % 5 {
+		case 0:
+			g = graph.BarabasiAlbert(60+r.Intn(200), 1+r.Intn(4), r)
+		case 1:
+			// Sparse G(n,p): often disconnected, exercising unreached
+			// vertices in the bottom-up sweep's visited complement.
+			g = graph.ErdosRenyiGNP(40+r.Intn(160), 0.02+0.05*r.Float64(), r)
+		case 2:
+			g = graph.RandomTree(50+r.Intn(150), r)
+		case 3:
+			g = graph.StarOfCliques(2+r.Intn(4), 3+r.Intn(5))
+		case 4:
+			g = graph.Grid(3+r.Intn(8), 3+r.Intn(8))
+		}
+		n := g.N()
+		hy := newBFS(g, true)
+		cl := newBFS(g, false)
+		runBoth := func(stage string) {
+			t.Helper()
+			for s := 0; s < 3; s++ {
+				src := r.Intn(n)
+				hy.Run(src)
+				cl.Run(src)
+				assertKernelsAgree(t, hy, cl, n, fmt.Sprintf("graph %d %s src %d", i, stage, src))
+			}
+		}
+		runBoth("base")
+
+		// Overlay-seated: add a few random chords (and sometimes drop
+		// one) without rebuilding the CSR, then reseat both kernels on
+		// the overlay version.
+		var edits []graph.Edit
+		for len(edits) < 1+r.Intn(4) {
+			u, v := r.Intn(n), r.Intn(n)
+			if u == v || g.HasEdge(u, v) {
+				continue
+			}
+			dup := false
+			for _, e := range edits {
+				if (e.U == u && e.V == v) || (e.U == v && e.V == u) {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				edits = append(edits, graph.Edit{Op: graph.EditAdd, U: u, V: v})
+			}
+		}
+		g2, _, err := graph.ApplyEditsOverlay(g, edits)
+		if err != nil {
+			t.Fatalf("graph %d: overlay: %v", i, err)
+		}
+		hy.Reseat(g2)
+		cl.Reseat(g2)
+		runBoth("overlay")
+
+		// Post-Reseat across a storage change: compaction rebuilds both
+		// kernels from scratch (fresh bitsets, fresh slot CSR).
+		g3 := g2.Compact()
+		hy.Reseat(g3)
+		cl.Reseat(g3)
+		runBoth("compacted")
+	}
+}
+
+// diamondChain builds a chain of k diamond gadgets: s_{i-1} connects
+// to two middle vertices which both connect to s_i, so σ(s_0 → s_k) =
+// 2^k with every shortest path distinct.
+func diamondChain(k int) *graph.Graph {
+	b := graph.NewBuilder(3*k + 1)
+	prev, id := 0, 1
+	for i := 0; i < k; i++ {
+		a, c, next := id, id+1, id+2
+		id += 3
+		b.AddEdge(prev, a)
+		b.AddEdge(prev, c)
+		b.AddEdge(a, next)
+		b.AddEdge(c, next)
+		prev = next
+	}
+	return b.MustBuild()
+}
+
+// TestSigmaExactLimitDetected drives σ across 2^53 with a diamond-gadget
+// chain and checks the sigmaCheck sweep catches it in both kernels,
+// while the boundary case σ = 2^53 exactly (still exact by the
+// SigmaExactLimit argument) passes clean.
+func TestSigmaExactLimitDetected(t *testing.T) {
+	sigmaCheck = true
+	defer func() { sigmaCheck = false }()
+
+	// 53 diamonds: σ = 2^53 at the chain's end — the last exact value.
+	ok := diamondChain(53)
+	for _, b := range []*BFS{newBFS(ok, true), newBFS(ok, false)} {
+		b.Run(0)
+		if got := b.SigmaOf(ok.N() - 1); got != SigmaExactLimit {
+			t.Fatalf("σ at chain end = %g, want 2^53", got)
+		}
+	}
+
+	// 54 diamonds: σ = 2^54 — representable (a power of two) but past
+	// the point where *every* integer count is, so the invariant sweep
+	// must refuse it.
+	bad := diamondChain(54)
+	for name, b := range map[string]*BFS{"hybrid": newBFS(bad, true), "classic": newBFS(bad, false)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic for σ = 2^54", name)
+				}
+			}()
+			b.Run(0)
+		}()
+	}
+}

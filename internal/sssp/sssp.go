@@ -1,14 +1,3 @@
-// Package sssp provides the single-source shortest-path substrate every
-// estimator in this repository is built on: BFS and Dijkstra traversals
-// that produce shortest-path DAGs (distance, path counts σ, and a
-// processing order suitable for Brandes-style dependency accumulation),
-// random shortest-path extraction, and balanced bidirectional BFS for
-// path sampling in the style of KADABRA [7].
-//
-// A Computer owns reusable buffers so repeated traversals allocate
-// nothing after warm-up; each estimator sample costs exactly one
-// traversal, O(n+m) unweighted or O(m + n log n) weighted, matching the
-// per-sample complexity the paper states.
 package sssp
 
 import (

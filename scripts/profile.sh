@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# profile.sh — capture pprof profiles of the estimation hot paths, the
+# companion to bench.sh: bench.sh says how fast, profile.sh says where
+# the time goes. Profiles land in profiles/ (gitignored) together with
+# a -top text rendering so a number can be quoted without opening the
+# interactive viewer.
+#
+# Usage:
+#   scripts/profile.sh                          # CPU, default benchmark set
+#   scripts/profile.sh 'BenchmarkBFSHybrid'     # CPU, one benchmark regex
+#   KIND=mem scripts/profile.sh 'BenchmarkT2SingleVertex'
+#   scripts/profile.sh bcbench t2               # profile a bcbench experiment
+#   KIND=mem scripts/profile.sh bcbench f1      # its live heap instead
+#   BENCHTIME=5s scripts/profile.sh             # longer capture window
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+KIND=${KIND:-cpu}
+BENCHTIME=${BENCHTIME:-2s}
+OUTDIR=${OUTDIR:-profiles}
+mkdir -p "$OUTDIR"
+
+case "$KIND" in
+cpu|mem) ;;
+*)
+    echo "profile.sh: unknown KIND '$KIND' (want cpu or mem)" >&2
+    exit 2
+    ;;
+esac
+
+if [ "${1:-}" = bcbench ]; then
+    # Route 2: whole-experiment profile through the bcbench binary's
+    # -cpuprofile/-memprofile flags — captures graph construction and
+    # table plumbing too, the realistic end-to-end mix.
+    EXPID=${2:-t2}
+    STEM="$OUTDIR/bcbench-$EXPID.$KIND"
+    BIN="$OUTDIR/bcbench.bin"
+    go build -o "$BIN" ./cmd/bcbench
+    if [ "$KIND" = cpu ]; then
+        "$BIN" -run "$EXPID" -scale "${SCALE:-quick}" -cpuprofile "$STEM.pb.gz" > /dev/null
+    else
+        "$BIN" -run "$EXPID" -scale "${SCALE:-quick}" -memprofile "$STEM.pb.gz" > /dev/null
+    fi
+else
+    # Route 1: benchmark profile via go test — isolates one kernel or
+    # engine path, the right view for optimizing an inner loop.
+    BENCH=${1:-'BenchmarkT2SingleVertex|BenchmarkBFSHybrid|BenchmarkBFSClassic'}
+    SAFE=$(printf '%s' "$BENCH" | tr -c 'A-Za-z0-9._-' '_')
+    STEM="$OUTDIR/bench-$SAFE.$KIND"
+    BIN="$OUTDIR/bcmh.test"
+    if [ "$KIND" = cpu ]; then
+        go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" \
+            -cpuprofile "$STEM.pb.gz" -o "$BIN" . >&2
+    else
+        go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" \
+            -memprofile "$STEM.pb.gz" -o "$BIN" . >&2
+    fi
+fi
+
+go tool pprof -top -nodecount "${NODES:-20}" "$STEM.pb.gz" > "$STEM.top.txt"
+echo "wrote $STEM.pb.gz" >&2
+echo "wrote $STEM.top.txt" >&2
+sed -n '1,12p' "$STEM.top.txt" >&2
